@@ -1,0 +1,69 @@
+// Command mtmlf-bench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	mtmlf-bench -exp table1|table2|table3|all [-scale quick|full] [-seed N]
+//
+// At -scale quick each table finishes in seconds; -scale full runs a
+// larger protocol (minutes). Absolute numbers depend on the synthetic
+// substrate; EXPERIMENTS.md discusses the expected shape versus the
+// paper's values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mtmlf/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, or all")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "full":
+		cfg = experiments.FullConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	run := func(name string, f func(experiments.Config) (fmt.Stringer, error)) {
+		start := time.Now()
+		res, err := f(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if want("table1") {
+		any = true
+		run("table1", func(c experiments.Config) (fmt.Stringer, error) { return experiments.RunTable1(c) })
+	}
+	if want("table2") {
+		any = true
+		run("table2", func(c experiments.Config) (fmt.Stringer, error) { return experiments.RunTable2(c) })
+	}
+	if want("table3") {
+		any = true
+		run("table3", func(c experiments.Config) (fmt.Stringer, error) { return experiments.RunTable3(c) })
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

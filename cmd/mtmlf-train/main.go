@@ -1,0 +1,97 @@
+// Command mtmlf-train trains an MTMLF-QO model on the synthetic IMDB
+// database, reports held-out q-errors and join-order quality, and can
+// save / load the transferable (S)+(T) parameters — the artifact the
+// paper's cloud provider would ship to users (Section 2.3).
+//
+// Usage:
+//
+//	mtmlf-train [-queries 200] [-epochs 6] [-scale 0.06] [-seed 1]
+//	            [-save shared.gob] [-load shared.gob] [-seqloss]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/workload"
+)
+
+func main() {
+	queries := flag.Int("queries", 200, "training workload size")
+	epochs := flag.Int("epochs", 6, "joint training epochs")
+	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	savePath := flag.String("save", "", "save trained (S)+(T) parameters to this file")
+	loadPath := flag.String("load", "", "load pre-trained (S)+(T) parameters before training")
+	seqLoss := flag.Bool("seqloss", false, "use the Equation 3 sequence-level join-order loss")
+	flag.Parse()
+
+	start := time.Now()
+	db := datagen.SyntheticIMDB(*seed, *scale)
+	fmt.Printf("database: %d tables, %d join edges\n", len(db.Tables), len(db.Edges))
+
+	model := mtmlf.NewModel(mtmlf.DefaultConfig(), db, *seed)
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := nn.Load(f, model.Shared.Params()); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("loaded shared parameters from %s\n", *loadPath)
+	}
+
+	gen := workload.NewGenerator(db, *seed+1)
+	wcfg := workload.DefaultConfig()
+	fmt.Println("pre-training per-table encoders (F module)...")
+	model.Feat.PretrainAll(gen, 40, 2, wcfg)
+
+	fmt.Printf("generating and labeling %d queries...\n", *queries)
+	all := gen.Generate(*queries, wcfg)
+	train, _, test := workload.Split(all, 0.85, 0.05)
+
+	fmt.Printf("joint training (%d epochs, seq-level loss: %v)...\n", *epochs, *seqLoss)
+	st := model.TrainJoint(train, mtmlf.TrainOptions{Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss})
+	fmt.Printf("trained %d steps, final running loss %.3f\n", st.Steps, st.FinalLoss)
+
+	// Evaluate.
+	var cardQ, costQ, joeus []float64
+	for _, lq := range test {
+		cards := model.EstimateNodeCards(lq)
+		costs := model.EstimateNodeCosts(lq)
+		for i := range cards {
+			cardQ = append(cardQ, metrics.QError(cards[i], lq.NodeCards[i]))
+			costQ = append(costQ, metrics.QError(costs[i], lq.NodeCosts[i]))
+		}
+		if len(lq.OptimalOrder) >= 2 {
+			rep := model.Represent(lq.Q, lq.Plan)
+			joeus = append(joeus, metrics.JOEU(model.JoinOrderFor(lq.Q, rep), lq.OptimalOrder))
+		}
+	}
+	cs, os1, js := metrics.Summarize(cardQ), metrics.Summarize(costQ), metrics.Summarize(joeus)
+	fmt.Printf("card q-error:  median %.2f  max %.1f  mean %.2f  (n=%d)\n", cs.Median, cs.Max, cs.Mean, cs.N)
+	fmt.Printf("cost q-error:  median %.2f  max %.1f  mean %.2f\n", os1.Median, os1.Max, os1.Mean)
+	fmt.Printf("join order:    mean JOEU %.2f over %d labeled queries\n", js.Mean, js.N)
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := nn.Save(f, model.Shared.Params()); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("saved shared parameters to %s\n", *savePath)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,83 @@
+// Joinorder demonstrates Section 4 of the paper: the tree-to-sequence
+// conversion of plan trees via complete-binary-tree decoding
+// embeddings (Figures 3 and 4), the uniqueness of the reverse
+// conversion, and the legality-pruned beam search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/workload"
+)
+
+func main() {
+	// --- Figure 3: the paper's two example plan trees -------------------
+	leftDeep := plan.NewJoin(plan.HashJoin,
+		plan.NewJoin(plan.HashJoin,
+			plan.NewJoin(plan.HashJoin, plan.Leaf("T1", plan.SeqScan), plan.Leaf("T2", plan.SeqScan)),
+			plan.Leaf("T3", plan.SeqScan)),
+		plan.Leaf("T4", plan.SeqScan))
+	bushy := plan.NewJoin(plan.HashJoin,
+		plan.NewJoin(plan.HashJoin, plan.Leaf("T1", plan.SeqScan), plan.Leaf("T2", plan.SeqScan)),
+		plan.NewJoin(plan.HashJoin, plan.Leaf("T3", plan.SeqScan), plan.Leaf("T4", plan.SeqScan)))
+
+	fmt.Println("Figure 3(a) — left-deep plan tree:")
+	fmt.Print(leftDeep.Pretty())
+	fmt.Println("Figure 3(b) — bushy plan tree:")
+	fmt.Print(bushy.Pretty())
+
+	// --- Figure 4: decoding embeddings ----------------------------------
+	for _, tc := range []struct {
+		name string
+		tree *plan.Node
+	}{{"left-deep", leftDeep}, {"bushy", bushy}} {
+		emb, err := plan.DecodingEmbeddings(tc.tree, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ndecoding embeddings (%s, width 8):\n", tc.name)
+		for _, t := range []string{"T1", "T2", "T3", "T4"} {
+			fmt.Printf("  %s = %v\n", t, emb[t])
+		}
+		back, err := plan.TreeFromEmbeddings(emb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  reverted tree: %s (roundtrip %v)\n", back.Shape(), back.Shape() == tc.tree.Shape())
+	}
+
+	// --- Section 4.3: legality-pruned beam search ------------------------
+	db := datagen.SyntheticIMDB(3, 0.04)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	model := mtmlf.NewModel(cfg, db, 1)
+	gen := workload.NewGenerator(db, 2)
+	wcfg := workload.DefaultConfig()
+	wcfg.MinTables, wcfg.MaxTables = 4, 4
+	lq := gen.Generate(1, wcfg)[0]
+
+	fmt.Printf("\nquery: %v\n", lq.Q.Tables)
+	fmt.Println("join predicates:")
+	for _, j := range lq.Q.Joins {
+		fmt.Printf("  %s\n", j)
+	}
+	rep := model.Represent(lq.Q, lq.Plan)
+	results := model.Shared.JO.BeamSearch(rep.Memory, lq.Q, 3, true)
+	fmt.Printf("beam search (k=3) candidates — all guaranteed legal:\n")
+	for _, r := range results {
+		order := make([]string, len(r.Positions))
+		for i, p := range r.Positions {
+			order[i] = rep.Tables[p]
+		}
+		fmt.Printf("  logp %7.3f  legal=%v  %v\n", r.LogProb, r.Legal, order)
+	}
+	fmt.Printf("predicted join order: %v\n", model.JoinOrderFor(lq.Q, rep))
+	if lq.OptimalOrder != nil {
+		fmt.Printf("optimal join order:   %v\n", lq.OptimalOrder)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart walks the full MTMLF-QO dataflow of Figure 2 on a small
+// synthetic database: inputs (I) → featurization (F) → shared
+// representation (S) → task-specific heads (T), then prints the
+// model's cardinality, cost, and join-order predictions next to the
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/workload"
+)
+
+func main() {
+	// (I.i) Data tables: a scaled-down synthetic IMDB (21 tables).
+	db := datagen.SyntheticIMDB(7, 0.05)
+	fmt.Printf("database %q: %d tables, %d PK-FK edges\n\n", db.Name, len(db.Tables), len(db.Edges))
+
+	// Build the model: per-table encoders (F) + Trans_Share (S) +
+	// M_CardEst / M_CostEst / Trans_JO (T).
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	model := mtmlf.NewModel(cfg, db, 1)
+
+	// Pre-train the (F) module: each Enc_i learns its table's data
+	// distribution from single-table cardinalities (the paper's
+	// ANALYZE-like local step).
+	gen := workload.NewGenerator(db, 2)
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 4
+	fmt.Println("pre-training single-table encoders (Enc_i)...")
+	model.Feat.PretrainAll(gen, 25, 2, wcfg)
+
+	// (I.ii) Queries with initial plans and ground-truth labels.
+	fmt.Println("generating labeled workload...")
+	qs := gen.Generate(80, wcfg)
+	train, _, test := workload.Split(qs, 0.8, 0.1)
+
+	// (L) Joint training on all three tasks (Equation 1).
+	fmt.Println("joint training on CardEst + CostEst + JoinSel...")
+	stats := model.TrainJoint(train, mtmlf.TrainOptions{Epochs: 6, Seed: 3})
+	fmt.Printf("trained %d steps (final loss %.3f)\n\n", stats.Steps, stats.FinalLoss)
+
+	// Inference on one held-out query.
+	lq := test[0]
+	fmt.Println("query:", lq.Q)
+	fmt.Println("initial plan:")
+	fmt.Print(lq.Plan.Pretty())
+
+	cardHat, costHat := model.EstimateRoot(lq)
+	fmt.Printf("\nCardEst: predicted %8.1f   true %8.1f   q-error %.2f\n",
+		cardHat, lq.Card, metrics.QError(cardHat, lq.Card))
+	fmt.Printf("CostEst: predicted %8.1f   true %8.1f   q-error %.2f\n",
+		costHat, lq.Cost, metrics.QError(costHat, lq.Cost))
+
+	rep := model.Represent(lq.Q, lq.Plan)
+	order := model.JoinOrderFor(lq.Q, rep)
+	fmt.Printf("JoinSel: predicted order %v\n", order)
+	if lq.OptimalOrder != nil {
+		fmt.Printf("         optimal order   %v   (JOEU %.2f)\n",
+			lq.OptimalOrder, metrics.JOEU(order, lq.OptimalOrder))
+	}
+
+	// Aggregate quality over the whole test split.
+	var cq []float64
+	for _, q := range test {
+		c, _ := model.EstimateRoot(q)
+		cq = append(cq, metrics.QError(c, q.Card))
+	}
+	s := metrics.Summarize(cq)
+	fmt.Printf("\ntest-set card q-error: median %.2f, mean %.2f over %d queries\n", s.Median, s.Mean, s.N)
+	if s.N == 0 {
+		log.Fatal("no test queries")
+	}
+}

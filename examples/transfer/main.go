@@ -1,0 +1,84 @@
+// Transfer demonstrates the paper's Section 6.3 workflow: the cloud
+// provider meta-trains MTMLF-QO's (S) and (T) modules on a fleet of
+// databases (Algorithm 1), then a brand-new database is attached by
+// training only its cheap (F) module and fine-tuning on a handful of
+// queries — instead of retraining everything from scratch.
+package main
+
+import (
+	"fmt"
+
+	"mtmlf/internal/cost"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/optimizer"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/stats"
+	"mtmlf/internal/workload"
+)
+
+func main() {
+	// Provider side: generate a training fleet with the Section 6.2
+	// pipeline and meta-train the shared modules.
+	dgCfg := datagen.DefaultConfig()
+	dgCfg.MinTables, dgCfg.MaxTables = 4, 6
+	dgCfg.MinRows, dgCfg.MaxRows = 120, 350
+	fleet := datagen.GenerateFleet(1, 4, dgCfg)
+	trainDBs, newDB := fleet[:3], fleet[3]
+	fmt.Printf("provider fleet: %d DBs; held-out DB %q has %d tables\n",
+		len(trainDBs), newDB.Name, len(newDB.Tables))
+
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	shared := mtmlf.NewShared(cfg, 2)
+
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 4
+	opts := mtmlf.MLAOptions{
+		QueriesPerDB:        25,
+		SingleTablePerTable: 15,
+		EncoderEpochs:       2,
+		JointEpochs:         4,
+		Workload:            wcfg,
+		Seed:                3,
+	}
+	fmt.Println("running MLA (Algorithm 1) over the fleet...")
+	mtmlf.TrainMLA(shared, trainDBs, opts)
+
+	// User side: attach the new DB — train its (F) module only, then
+	// fine-tune the shared modules on a small local workload.
+	fmt.Println("attaching held-out DB: training its (F) module...")
+	task := mtmlf.NewDBTask(shared, newDB, opts, 4)
+	ft := task.Queries[:8]
+	eval := task.Queries[8:]
+	fmt.Printf("fine-tuning on %d local queries...\n", len(ft))
+	task.Model.FineTune(ft, 2, cfg.LR/2, 5)
+
+	// Compare join orders on the held-out queries against PostgreSQL
+	// and the optimum.
+	st := stats.Analyze(newDB)
+	var pgTime, mlaTime, optTime float64
+	n := 0
+	for _, lq := range eval {
+		if len(lq.OptimalOrder) < 2 {
+			continue
+		}
+		n++
+		ex := sqldb.NewExecutor(newDB, lq.Q)
+		if pg, err := optimizer.BestLeftDeep(lq.Q, optimizer.EstimatedCards{S: st, Q: lq.Q}); err == nil {
+			pgTime += cost.SimulatedTimeOrder(ex, pg.Order)
+		}
+		optTime += cost.SimulatedTimeOrder(ex, lq.OptimalOrder)
+		rep := task.Model.Represent(lq.Q, lq.Plan)
+		mlaTime += cost.SimulatedTimeOrder(ex, task.Model.JoinOrderFor(lq.Q, rep))
+	}
+	fmt.Printf("\nsimulated total time over %d held-out queries on the NEW database:\n", n)
+	fmt.Printf("  PostgreSQL baseline: %10.0f\n", pgTime)
+	fmt.Printf("  MTMLF-QO (MLA):      %10.0f  (improvement %.1f%%)\n",
+		mlaTime, 100*metrics.ImprovementRatio(pgTime, mlaTime))
+	fmt.Printf("  Optimal:             %10.0f  (improvement %.1f%%)\n",
+		optTime, 100*metrics.ImprovementRatio(pgTime, optTime))
+	fmt.Println("\nonly the (F) module was trained on the new DB; (S)+(T) came pre-trained.")
+}

@@ -1,0 +1,733 @@
+// Package ag implements a small reverse-mode automatic-differentiation
+// engine over internal/tensor matrices. It is the substrate the MTMLF
+// models are built on (the PyTorch substitute; see DESIGN.md).
+//
+// A computation is built eagerly: each op returns a *Value holding the
+// forward result plus a closure that propagates gradients to its
+// parents. Calling Backward on a scalar root runs the closures in
+// reverse topological order.
+//
+// All matrices are rank-2; vectors are 1xN.
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"mtmlf/internal/tensor"
+)
+
+// Value is a node in the autodiff graph.
+type Value struct {
+	// T holds the forward result.
+	T *tensor.Tensor
+	// Grad accumulates dLoss/dT; nil until Backward reaches this node.
+	Grad *tensor.Tensor
+
+	op       string
+	parents  []*Value
+	backward func()
+	needGrad bool
+}
+
+// Param wraps a tensor as a trainable parameter (gradients flow into it).
+func Param(t *tensor.Tensor) *Value {
+	return &Value{T: t, op: "param", needGrad: true}
+}
+
+// Const wraps a tensor as a constant input (no gradient is stored).
+func Const(t *tensor.Tensor) *Value {
+	return &Value{T: t, op: "const"}
+}
+
+// NeedsGrad reports whether gradients flow into this node.
+func (v *Value) NeedsGrad() bool { return v.needGrad }
+
+// Rows and Cols expose the underlying matrix shape.
+func (v *Value) Rows() int { return v.T.Rows() }
+func (v *Value) Cols() int { return v.T.Cols() }
+
+func newNode(op string, t *tensor.Tensor, parents ...*Value) *Value {
+	n := &Value{T: t, op: op, parents: parents}
+	for _, p := range parents {
+		if p.needGrad {
+			n.needGrad = true
+			break
+		}
+	}
+	return n
+}
+
+// accumGrad adds g into v.Grad, allocating on first use. It is a no-op
+// for nodes that do not require gradients, which prunes constant
+// subgraphs from the backward pass.
+func (v *Value) accumGrad(g *tensor.Tensor) {
+	if !v.needGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.T.Shape...)
+	}
+	v.Grad.AddInPlace(g)
+}
+
+// Backward computes gradients of v (which must be a 1x1 scalar) with
+// respect to every upstream Param.
+func (v *Value) Backward() {
+	if v.T.Size() != 1 {
+		panic(fmt.Sprintf("ag: Backward on non-scalar shape %v", v.T.Shape))
+	}
+	order := topoSort(v)
+	v.Grad = tensor.Full(1, v.T.Shape...)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	seen := map[*Value]bool{}
+	var visit func(*Value)
+	visit = func(n *Value) {
+		if seen[n] || !n.needGrad {
+			return
+		}
+		seen[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	return order
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise and linear-algebra ops
+// ---------------------------------------------------------------------------
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	out := newNode("add", tensor.Add(a.T, b.T), a, b)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		b.accumGrad(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Value) *Value {
+	out := newNode("sub", tensor.Sub(a.T, b.T), a, b)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		if b.needGrad {
+			b.accumGrad(tensor.Scale(out.Grad, -1))
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func Mul(a, b *Value) *Value {
+	out := newNode("mul", tensor.Mul(a.T, b.T), a, b)
+	out.backward = func() {
+		if a.needGrad {
+			a.accumGrad(tensor.Mul(out.Grad, b.T))
+		}
+		if b.needGrad {
+			b.accumGrad(tensor.Mul(out.Grad, a.T))
+		}
+	}
+	return out
+}
+
+// Scale returns s * a for scalar constant s.
+func Scale(a *Value, s float64) *Value {
+	out := newNode("scale", tensor.Scale(a.T, s), a)
+	out.backward = func() {
+		a.accumGrad(tensor.Scale(out.Grad, s))
+	}
+	return out
+}
+
+// AddBias broadcasts a 1xN bias row across every row of a [M,N] matrix.
+func AddBias(a, bias *Value) *Value {
+	m, n := a.T.Rows(), a.T.Cols()
+	if bias.T.Rows() != 1 || bias.T.Cols() != n {
+		panic(fmt.Sprintf("ag: AddBias shape %v + %v", a.T.Shape, bias.T.Shape))
+	}
+	t := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.T.Row(i)
+		orow := t.Row(i)
+		for j := range row {
+			orow[j] = row[j] + bias.T.Data[j]
+		}
+	}
+	out := newNode("addbias", t, a, bias)
+	out.backward = func() {
+		a.accumGrad(out.Grad)
+		if bias.needGrad {
+			bias.accumGrad(tensor.SumRows(out.Grad))
+		}
+	}
+	return out
+}
+
+// MatMul returns a @ b.
+func MatMul(a, b *Value) *Value {
+	out := newNode("matmul", tensor.MatMul(a.T, b.T), a, b)
+	out.backward = func() {
+		if a.needGrad {
+			a.accumGrad(tensor.MatMulTransB(out.Grad, b.T))
+		}
+		if b.needGrad {
+			b.accumGrad(tensor.MatMulTransA(a.T, out.Grad))
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ b^T without materializing the transpose.
+func MatMulTransB(a, b *Value) *Value {
+	out := newNode("matmulTB", tensor.MatMulTransB(a.T, b.T), a, b)
+	out.backward = func() {
+		if a.needGrad {
+			a.accumGrad(tensor.MatMul(out.Grad, b.T))
+		}
+		if b.needGrad {
+			b.accumGrad(tensor.MatMulTransA(out.Grad, a.T))
+		}
+	}
+	return out
+}
+
+// Transpose returns a^T.
+func Transpose(a *Value) *Value {
+	out := newNode("transpose", tensor.Transpose(a.T), a)
+	out.backward = func() {
+		a.accumGrad(tensor.Transpose(out.Grad))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities
+// ---------------------------------------------------------------------------
+
+func unary(op string, a *Value, f func(float64) float64, df func(x, y float64) float64) *Value {
+	t := tensor.New(a.T.Shape...)
+	for i, x := range a.T.Data {
+		t.Data[i] = f(x)
+	}
+	out := newNode(op, t, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		g := tensor.New(a.T.Shape...)
+		for i := range g.Data {
+			g.Data[i] = out.Grad.Data[i] * df(a.T.Data[i], t.Data[i])
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Value) *Value {
+	return unary("relu", a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// GELU applies the tanh-approximation Gaussian error linear unit.
+func GELU(a *Value) *Value {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	f := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	df := func(x, _ float64) float64 {
+		inner := c * (x + 0.044715*x*x*x)
+		th := math.Tanh(inner)
+		sech2 := 1 - th*th
+		return 0.5*(1+th) + 0.5*x*sech2*c*(1+3*0.044715*x*x)
+	}
+	return unary("gelu", a, f, df)
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Value) *Value {
+	return unary("tanh", a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Value) *Value {
+	return unary("sigmoid", a,
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Exp applies e^x elementwise.
+func Exp(a *Value) *Value {
+	return unary("exp", a, math.Exp, func(_, y float64) float64 { return y })
+}
+
+// Log applies the natural logarithm elementwise (inputs must be > 0).
+func Log(a *Value) *Value {
+	return unary("log", a, math.Log, func(x, _ float64) float64 { return 1 / x })
+}
+
+// Abs applies |x| elementwise (subgradient 0 at x=0).
+func Abs(a *Value) *Value {
+	return unary("abs", a, math.Abs, func(x, _ float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / normalization
+// ---------------------------------------------------------------------------
+
+// SoftmaxRows applies softmax to each row.
+func SoftmaxRows(a *Value) *Value {
+	y := tensor.SoftmaxRows(a.T)
+	out := newNode("softmax", y, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		m, n := y.Rows(), y.Cols()
+		g := tensor.New(m, n)
+		for i := 0; i < m; i++ {
+			yr := y.Row(i)
+			gr := out.Grad.Row(i)
+			var dot float64
+			for j := 0; j < n; j++ {
+				dot += yr[j] * gr[j]
+			}
+			orow := g.Row(i)
+			for j := 0; j < n; j++ {
+				orow[j] = yr[j] * (gr[j] - dot)
+			}
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// LogSoftmaxRows applies log-softmax to each row (numerically stable).
+func LogSoftmaxRows(a *Value) *Value {
+	m, n := a.T.Rows(), a.T.Cols()
+	y := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.T.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for _, v := range row {
+			z += math.Exp(v - mx)
+		}
+		lz := math.Log(z) + mx
+		orow := y.Row(i)
+		for j, v := range row {
+			orow[j] = v - lz
+		}
+	}
+	out := newNode("logsoftmax", y, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		g := tensor.New(m, n)
+		for i := 0; i < m; i++ {
+			gr := out.Grad.Row(i)
+			yr := y.Row(i)
+			var sum float64
+			for _, v := range gr {
+				sum += v
+			}
+			orow := g.Row(i)
+			for j := 0; j < n; j++ {
+				orow[j] = gr[j] - math.Exp(yr[j])*sum
+			}
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// LayerNormRows normalizes each row to zero mean / unit variance and
+// applies a learned 1xN gain and bias.
+func LayerNormRows(a, gamma, beta *Value, eps float64) *Value {
+	m, n := a.T.Rows(), a.T.Cols()
+	if gamma.T.Cols() != n || beta.T.Cols() != n {
+		panic("ag: LayerNormRows gain/bias width mismatch")
+	}
+	y := tensor.New(m, n)
+	xhat := tensor.New(m, n)
+	invstd := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.T.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		var va float64
+		for _, v := range row {
+			d := v - mean
+			va += d * d
+		}
+		va /= float64(n)
+		is := 1 / math.Sqrt(va+eps)
+		invstd[i] = is
+		xr := xhat.Row(i)
+		yr := y.Row(i)
+		for j, v := range row {
+			xr[j] = (v - mean) * is
+			yr[j] = xr[j]*gamma.T.Data[j] + beta.T.Data[j]
+		}
+	}
+	out := newNode("layernorm", y, a, gamma, beta)
+	out.backward = func() {
+		if gamma.needGrad {
+			gg := tensor.New(1, n)
+			for i := 0; i < m; i++ {
+				gr := out.Grad.Row(i)
+				xr := xhat.Row(i)
+				for j := 0; j < n; j++ {
+					gg.Data[j] += gr[j] * xr[j]
+				}
+			}
+			gamma.accumGrad(gg)
+		}
+		if beta.needGrad {
+			beta.accumGrad(tensor.SumRows(out.Grad))
+		}
+		if a.needGrad {
+			g := tensor.New(m, n)
+			for i := 0; i < m; i++ {
+				gr := out.Grad.Row(i)
+				xr := xhat.Row(i)
+				// dxhat_j = grad_j * gamma_j
+				var sumDx, sumDxX float64
+				dx := make([]float64, n)
+				for j := 0; j < n; j++ {
+					dx[j] = gr[j] * gamma.T.Data[j]
+					sumDx += dx[j]
+					sumDxX += dx[j] * xr[j]
+				}
+				orow := g.Row(i)
+				fn := float64(n)
+				for j := 0; j < n; j++ {
+					orow[j] = invstd[i] / fn * (fn*dx[j] - sumDx - xr[j]*sumDxX)
+				}
+			}
+			a.accumGrad(g)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+// ConcatRows stacks matrices with equal column counts vertically.
+func ConcatRows(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("ag: ConcatRows of nothing")
+	}
+	n := vs[0].T.Cols()
+	total := 0
+	for _, v := range vs {
+		if v.T.Cols() != n {
+			panic("ag: ConcatRows column mismatch")
+		}
+		total += v.T.Rows()
+	}
+	t := tensor.New(total, n)
+	r := 0
+	for _, v := range vs {
+		copy(t.Data[r*n:], v.T.Data)
+		r += v.T.Rows()
+	}
+	out := newNode("concatrows", t, vs...)
+	out.backward = func() {
+		r := 0
+		for _, v := range vs {
+			h := v.T.Rows()
+			if v.needGrad {
+				g := tensor.New(h, n)
+				copy(g.Data, out.Grad.Data[r*n:(r+h)*n])
+				v.accumGrad(g)
+			}
+			r += h
+		}
+	}
+	return out
+}
+
+// ConcatCols stacks matrices with equal row counts horizontally.
+func ConcatCols(vs ...*Value) *Value {
+	if len(vs) == 0 {
+		panic("ag: ConcatCols of nothing")
+	}
+	m := vs[0].T.Rows()
+	total := 0
+	for _, v := range vs {
+		if v.T.Rows() != m {
+			panic("ag: ConcatCols row mismatch")
+		}
+		total += v.T.Cols()
+	}
+	t := tensor.New(m, total)
+	off := 0
+	for _, v := range vs {
+		c := v.T.Cols()
+		for i := 0; i < m; i++ {
+			copy(t.Row(i)[off:off+c], v.T.Row(i))
+		}
+		off += c
+	}
+	out := newNode("concatcols", t, vs...)
+	out.backward = func() {
+		off := 0
+		for _, v := range vs {
+			c := v.T.Cols()
+			if v.needGrad {
+				g := tensor.New(m, c)
+				for i := 0; i < m; i++ {
+					copy(g.Row(i), out.Grad.Row(i)[off:off+c])
+				}
+				v.accumGrad(g)
+			}
+			off += c
+		}
+	}
+	return out
+}
+
+// SliceRows returns rows [from, to) of a.
+func SliceRows(a *Value, from, to int) *Value {
+	m, n := a.T.Rows(), a.T.Cols()
+	if from < 0 || to > m || from > to {
+		panic(fmt.Sprintf("ag: SliceRows [%d,%d) of %d rows", from, to, m))
+	}
+	t := tensor.New(to-from, n)
+	copy(t.Data, a.T.Data[from*n:to*n])
+	out := newNode("slicerows", t, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		g := tensor.New(m, n)
+		copy(g.Data[from*n:to*n], out.Grad.Data)
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) of a.
+func SliceCols(a *Value, from, to int) *Value {
+	m, n := a.T.Rows(), a.T.Cols()
+	if from < 0 || to > n || from > to {
+		panic(fmt.Sprintf("ag: SliceCols [%d,%d) of %d cols", from, to, n))
+	}
+	w := to - from
+	t := tensor.New(m, w)
+	for i := 0; i < m; i++ {
+		copy(t.Row(i), a.T.Row(i)[from:to])
+	}
+	out := newNode("slicecols", t, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		g := tensor.New(m, n)
+		for i := 0; i < m; i++ {
+			copy(g.Row(i)[from:to], out.Grad.Row(i))
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// Gather returns the rows of the weight matrix w selected by idx, in
+// order. It is the embedding-lookup primitive: backward scatter-adds.
+func Gather(w *Value, idx []int) *Value {
+	n := w.T.Cols()
+	t := tensor.New(len(idx), n)
+	for i, ix := range idx {
+		copy(t.Row(i), w.T.Row(ix))
+	}
+	ids := append([]int(nil), idx...)
+	out := newNode("gather", t, w)
+	out.backward = func() {
+		if !w.needGrad {
+			return
+		}
+		g := tensor.New(w.T.Rows(), n)
+		for i, ix := range ids {
+			grow := g.Row(ix)
+			orow := out.Grad.Row(i)
+			for j := range grow {
+				grow[j] += orow[j]
+			}
+		}
+		w.accumGrad(g)
+	}
+	return out
+}
+
+// MeanRows returns the 1xN mean of the rows of a.
+func MeanRows(a *Value) *Value {
+	m := a.T.Rows()
+	s := tensor.SumRows(a.T)
+	s.ScaleInPlace(1 / float64(m))
+	out := newNode("meanrows", s, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		g := tensor.New(a.T.Shape...)
+		inv := 1 / float64(m)
+		n := a.T.Cols()
+		for i := 0; i < m; i++ {
+			row := g.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] = out.Grad.Data[j] * inv
+			}
+		}
+		a.accumGrad(g)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and losses
+// ---------------------------------------------------------------------------
+
+// SumAll reduces a to a 1x1 scalar.
+func SumAll(a *Value) *Value {
+	t := tensor.FromSlice([]float64{tensor.SumAll(a.T)}, 1, 1)
+	out := newNode("sumall", t, a)
+	out.backward = func() {
+		if !a.needGrad {
+			return
+		}
+		a.accumGrad(tensor.Full(out.Grad.Data[0], a.T.Shape...))
+	}
+	return out
+}
+
+// MeanAll reduces a to its scalar mean.
+func MeanAll(a *Value) *Value {
+	return Scale(SumAll(a), 1/float64(a.T.Size()))
+}
+
+// Scalar wraps a float as a 1x1 constant.
+func Scalar(v float64) *Value {
+	return Const(tensor.FromSlice([]float64{v}, 1, 1))
+}
+
+// Item returns the single element of a 1x1 node.
+func (v *Value) Item() float64 {
+	if v.T.Size() != 1 {
+		panic(fmt.Sprintf("ag: Item on shape %v", v.T.Shape))
+	}
+	return v.T.Data[0]
+}
+
+// CrossEntropyRows computes the mean negative log-likelihood of target
+// class indices under row-wise softmax of logits.
+func CrossEntropyRows(logits *Value, targets []int) *Value {
+	m := logits.T.Rows()
+	if len(targets) != m {
+		panic("ag: CrossEntropyRows target count mismatch")
+	}
+	ls := LogSoftmaxRows(logits)
+	// Pick out -logp[target] per row via a constant selection matrix.
+	n := logits.T.Cols()
+	sel := tensor.New(m, n)
+	for i, t := range targets {
+		if t < 0 || t >= n {
+			panic(fmt.Sprintf("ag: CrossEntropyRows target %d out of %d classes", t, n))
+		}
+		sel.Set(i, t, -1/float64(m))
+	}
+	return SumAll(Mul(ls, Const(sel)))
+}
+
+// MSE computes mean squared error between a and b (same shape).
+func MSE(a, b *Value) *Value {
+	d := Sub(a, b)
+	return MeanAll(Mul(d, d))
+}
+
+// ---------------------------------------------------------------------------
+// Numerical gradient checking (used by tests)
+// ---------------------------------------------------------------------------
+
+// GradCheck numerically verifies the gradient of loss() with respect to
+// each listed parameter, returning the maximum relative error observed.
+// loss must rebuild the graph from the parameter tensors on every call.
+func GradCheck(params []*Value, loss func() *Value, eps float64) float64 {
+	// Analytic pass.
+	l := loss()
+	l.Backward()
+	grads := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if p.Grad == nil {
+			grads[i] = tensor.New(p.T.Shape...)
+		} else {
+			grads[i] = p.Grad.Clone()
+		}
+		p.Grad = nil
+	}
+	var maxRel float64
+	for i, p := range params {
+		for j := range p.T.Data {
+			orig := p.T.Data[j]
+			p.T.Data[j] = orig + eps
+			lp := loss().Item()
+			p.T.Data[j] = orig - eps
+			lm := loss().Item()
+			p.T.Data[j] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := grads[i].Data[j]
+			denom := math.Max(1, math.Abs(num)+math.Abs(ana))
+			rel := math.Abs(num-ana) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	return maxRel
+}

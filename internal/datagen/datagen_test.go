@@ -1,0 +1,207 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtmlf/internal/sqldb"
+)
+
+func TestGenerateDBStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := GenerateDB(rng, "d", cfg)
+		n := len(db.Tables)
+		if n < cfg.MinTables || n > cfg.MaxTables {
+			t.Fatalf("seed %d: %d tables outside [%d, %d]", seed, n, cfg.MinTables, cfg.MaxTables)
+		}
+		nf := len(db.FactTables)
+		if nf < cfg.MinFacts || nf > cfg.MaxFacts {
+			t.Fatalf("seed %d: %d fact tables", seed, nf)
+		}
+		for _, tab := range db.Tables {
+			if tab.NumRows() < cfg.MinRows || tab.NumRows() > cfg.MaxRows {
+				t.Fatalf("seed %d: table %s has %d rows", seed, tab.Name, tab.NumRows())
+			}
+			if tab.Column("id") == nil {
+				t.Fatalf("seed %d: table %s missing PK", seed, tab.Name)
+			}
+		}
+	}
+}
+
+func TestGenerateDBJoinGraphConnected(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := GenerateDB(rng, "d", cfg)
+		q := &sqldb.Query{Tables: db.TableNames(), Joins: db.Edges}
+		if !q.IsConnected() {
+			t.Fatalf("seed %d: join graph disconnected", seed)
+		}
+	}
+}
+
+func TestGenerateDBEdgesArePKFK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := GenerateDB(rng, "d", DefaultConfig())
+	for _, e := range db.Edges {
+		// Left side must be a PK (id) and right side an FK referencing it.
+		if e.C1 != "id" {
+			t.Fatalf("edge %v left side not a PK", e)
+		}
+		fkCol := db.Table(e.T2).Column(e.C2)
+		pkRows := int64(db.Table(e.T1).NumRows())
+		for _, v := range fkCol.Ints {
+			if v < 0 || v >= pkRows {
+				t.Fatalf("edge %v: FK value %d outside PK domain [0,%d)", e, v, pkRows)
+			}
+		}
+	}
+}
+
+func TestGenerateDBDimensionEdgesTargetFacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := GenerateDB(rng, "d", DefaultConfig())
+	facts := map[string]bool{}
+	for _, f := range db.FactTables {
+		facts[f] = true
+	}
+	for _, e := range db.Edges {
+		if !facts[e.T1] {
+			t.Fatalf("edge %v references non-fact PK side (paper S1: dimensions join facts)", e)
+		}
+	}
+}
+
+func TestZipfColumnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := zipfColumn(rng, 10000, 50, 1.8)
+	counts := map[int64]int{}
+	for _, v := range vals {
+		if v < 0 || v >= 50 {
+			t.Fatalf("value %d out of domain", v)
+		}
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Strong skew: the heaviest value should dominate a uniform share.
+	if max < 3*(10000/50) {
+		t.Fatalf("zipf column not skewed: max count %d", max)
+	}
+}
+
+func TestCorrelatedColumnTracksBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := zipfColumn(rng, 5000, 20, 1.5)
+	derived := correlatedColumn(rng, base, 30)
+	// Same base value should map to a small set of derived values.
+	seen := map[int64]map[int64]bool{}
+	for i, b := range base {
+		if seen[b] == nil {
+			seen[b] = map[int64]bool{}
+		}
+		seen[b][derived[i]] = true
+	}
+	for b, ds := range seen {
+		if len(ds) > 4 {
+			t.Fatalf("base value %d maps to %d derived values; correlation too weak", b, len(ds))
+		}
+	}
+}
+
+func TestBootstrapTablePreservesDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := sqldb.MustNewTable("src",
+		sqldb.IntColumn("a", []int64{1, 2, 3, 4, 5}),
+		sqldb.StringColumn("s", []string{"x", "y", "z", "x", "y"}),
+	)
+	boot := BootstrapTable(rng, src, "boot", 100)
+	if boot.NumRows() != 100 {
+		t.Fatal("bootstrap row count wrong")
+	}
+	domain := map[int64]bool{1: true, 2: true, 3: true, 4: true, 5: true}
+	for _, v := range boot.Column("a").Ints {
+		if !domain[v] {
+			t.Fatalf("bootstrap introduced out-of-domain value %d", v)
+		}
+	}
+}
+
+func TestGenerateFleetDistinct(t *testing.T) {
+	fleet := GenerateFleet(1, 3, DefaultConfig())
+	if len(fleet) != 3 {
+		t.Fatal("fleet size wrong")
+	}
+	if fleet[0].Name == fleet[1].Name {
+		t.Fatal("fleet DBs must have distinct names")
+	}
+	// Different seeds should produce structurally different DBs at
+	// least sometimes; compare total row counts.
+	total := func(db *sqldb.DB) int {
+		s := 0
+		for _, t := range db.Tables {
+			s += t.NumRows()
+		}
+		return s
+	}
+	if total(fleet[0]) == total(fleet[1]) && len(fleet[0].Tables) == len(fleet[1].Tables) &&
+		total(fleet[1]) == total(fleet[2]) && len(fleet[1].Tables) == len(fleet[2].Tables) {
+		t.Fatal("fleet databases suspiciously identical")
+	}
+}
+
+func TestSyntheticIMDBShape(t *testing.T) {
+	db := SyntheticIMDB(1, 0.2)
+	if got := len(db.Tables); got != 21 {
+		t.Fatalf("synthetic IMDB has %d tables, want 21 (paper)", got)
+	}
+	for _, name := range []string{"title", "name", "cast_info", "movie_info", "movie_keyword", "company_name"} {
+		if db.Table(name) == nil {
+			t.Fatalf("missing IMDB table %q", name)
+		}
+	}
+	q := &sqldb.Query{Tables: db.TableNames(), Joins: db.Edges}
+	if !q.IsConnected() {
+		t.Fatal("IMDB join graph disconnected")
+	}
+	// FK domains valid.
+	for _, e := range db.Edges {
+		pkRows := int64(db.Table(e.T1).NumRows())
+		fkCol := db.Table(e.T2).Column(e.C2)
+		for _, v := range fkCol.Ints {
+			if v < 0 || v >= pkRows {
+				t.Fatalf("edge %v FK out of domain", e)
+			}
+		}
+	}
+	// String columns exist for LIKE predicates.
+	if db.Table("title").Column("title").Kind != sqldb.KindString {
+		t.Fatal("title.title must be a string column")
+	}
+}
+
+func TestSyntheticIMDBScales(t *testing.T) {
+	small := SyntheticIMDB(1, 0.1)
+	big := SyntheticIMDB(1, 0.5)
+	if small.Table("cast_info").NumRows() >= big.Table("cast_info").NumRows() {
+		t.Fatal("scale must grow row counts")
+	}
+}
+
+func TestSyntheticIMDBDeterministic(t *testing.T) {
+	a := SyntheticIMDB(42, 0.1)
+	b := SyntheticIMDB(42, 0.1)
+	ta, tb := a.Table("title"), b.Table("title")
+	for i := 0; i < ta.NumRows(); i++ {
+		if ta.Column("title").Strs[i] != tb.Column("title").Strs[i] {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+}

@@ -1,0 +1,504 @@
+// Package experiments reproduces every table of the paper's
+// evaluation (Section 6) end to end: workload generation, baseline and
+// MTMLF-QO training, and paper-style result tables. Scales are
+// configurable; QuickConfig finishes on a laptop CPU in tens of
+// seconds per table, FullConfig in minutes. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mtmlf/internal/cost"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/optimizer"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/stats"
+	"mtmlf/internal/treelstm"
+	"mtmlf/internal/workload"
+)
+
+// Config controls experiment scale. The paper's scales (150K training
+// queries, 20K JoinSel queries, full IMDB) are noted per field.
+type Config struct {
+	Seed int64
+	// IMDBScale multiplies the synthetic IMDB row counts.
+	IMDBScale float64
+	// TrainQueries is the CardEst/CostEst training workload size
+	// (paper: 150K; 90/10 train/validation plus held-out test).
+	TrainQueries int
+	// TestQueries is the held-out JOB-like test set size (paper: the
+	// 113 JOB queries).
+	TestQueries int
+	// JoinSelQueries is the ≤8-table workload with optimal labels
+	// (paper: 20K, split 85/10/5).
+	JoinSelQueries int
+	// Epochs is the joint-training epoch count.
+	Epochs int
+	// EncoderQueries and EncoderEpochs control Enc_i pre-training.
+	EncoderQueries, EncoderEpochs int
+	// Model configures MTMLF-QO.
+	Model mtmlf.Config
+	// Workload configures query generation.
+	Workload workload.Config
+	// NumDBs is the Table 3 fleet size (paper: 11; 10 train + 1 test).
+	NumDBs int
+	// QueriesPerDB is the Table 3 per-database workload (paper: 20K).
+	QueriesPerDB int
+	// Datagen configures the Section 6.2 pipeline.
+	Datagen datagen.Config
+	// FineTuneQueries and FineTuneEpochs control the new-DB local
+	// adaptation step.
+	FineTuneQueries, FineTuneEpochs int
+	// SeqLevelLoss enables the Equation 3 sequence-level loss for
+	// Trans_JO training.
+	SeqLevelLoss bool
+}
+
+// QuickConfig is the scale used by tests and the default benches.
+func QuickConfig() Config {
+	m := mtmlf.DefaultConfig()
+	m.Dim = 16
+	m.Blocks = 1
+	m.DecBlocks = 1
+	m.Feat.Dim = 16
+	m.Feat.Blocks = 1
+	w := workload.DefaultConfig()
+	w.MinTables, w.MaxTables = 3, 5
+	dg := datagen.DefaultConfig()
+	dg.MinTables, dg.MaxTables = 5, 7
+	dg.MinRows, dg.MaxRows = 150, 500
+	return Config{
+		Seed:            1,
+		IMDBScale:       0.08,
+		TrainQueries:    300,
+		TestQueries:     50,
+		JoinSelQueries:  300,
+		Epochs:          12,
+		EncoderQueries:  40,
+		EncoderEpochs:   2,
+		Model:           m,
+		Workload:        w,
+		NumDBs:          4,
+		QueriesPerDB:    80,
+		Datagen:         dg,
+		FineTuneQueries: 30,
+		FineTuneEpochs:  6,
+	}
+}
+
+// FullConfig is a larger run closer to the paper's protocol (still far
+// below 150K queries; the shape of the results is what transfers).
+func FullConfig() Config {
+	c := QuickConfig()
+	c.Model = mtmlf.DefaultConfig()
+	c.Workload.MaxTables = 6
+	c.IMDBScale = 0.15
+	c.TrainQueries = 800
+	c.TestQueries = 113
+	c.JoinSelQueries = 500
+	c.Epochs = 10
+	c.EncoderQueries = 80
+	c.EncoderEpochs = 3
+	c.NumDBs = 11
+	c.QueriesPerDB = 120
+	c.FineTuneQueries = 30
+	c.FineTuneEpochs = 3
+	return c
+}
+
+// trainedModel builds, pre-trains and jointly trains one MTMLF model
+// variant on a labeled workload.
+func trainedModel(cfg Config, db *sqldb.DB, gen *workload.Generator, train []*workload.LabeledQuery, wCard, wCost, wJo float64, seed int64) *mtmlf.Model {
+	mc := cfg.Model
+	mc.WCard, mc.WCost, mc.WJo = wCard, wCost, wJo
+	m := mtmlf.NewModel(mc, db, seed)
+	m.Feat.PretrainAll(gen, cfg.EncoderQueries, cfg.EncoderEpochs, cfg.Workload)
+	m.TrainJoint(train, mtmlf.TrainOptions{Epochs: cfg.Epochs, Seed: seed + 1, SeqLevelLoss: cfg.SeqLevelLoss})
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: q-errors on the JOB-like workload
+// ---------------------------------------------------------------------------
+
+// Table1Row is one method's card/cost q-error summary.
+type Table1Row struct {
+	Method                        string
+	CardMedian, CardMax, CardMean float64
+	CostMedian, CostMax, CostMean float64
+	HasCard, HasCost              bool
+}
+
+// Table1Result reproduces the paper's Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 trains all Table 1 methods on the synthetic IMDB and
+// reports per-node card/cost q-errors on the held-out test set.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	db := datagen.SyntheticIMDB(cfg.Seed, cfg.IMDBScale)
+	gen := workload.NewGenerator(db, cfg.Seed+1)
+	wcfg := cfg.Workload
+	wcfg.WithOptimal = true
+	all := gen.Generate(cfg.TrainQueries+cfg.TestQueries, wcfg)
+	train := all[:cfg.TrainQueries]
+	test := all[cfg.TrainQueries:]
+
+	st := stats.Analyze(db)
+	cm := cost.Default()
+
+	// Q-errors are collected over multi-table sub-plans (join nodes,
+	// including the root). Single-table scans are estimated almost
+	// exactly by every method at this data scale and would dilute the
+	// comparison; the join distributions are where the paper's Table 1
+	// gap comes from.
+	isJoinNode := func(lq *workload.LabeledQuery) []bool {
+		nodes := lq.Plan.Nodes()
+		out := make([]bool, len(nodes))
+		for i, n := range nodes {
+			out[i] = !n.IsLeaf()
+		}
+		return out
+	}
+
+	// PostgreSQL baseline: per-node estimated cards via the histogram
+	// model; per-node costs via the cost model over those estimates.
+	var pgCard, pgCost []float64
+	for _, lq := range test {
+		estCard := func(tables []string) float64 { return st.EstimateSubplanCard(tables, lq.Q) }
+		rows := func(name string) float64 { return float64(db.Table(name).NumRows()) }
+		_, nodeCards, nodeCosts := cm.PlanCost(lq.Plan, rows, estCard)
+		joins := isJoinNode(lq)
+		for i := range nodeCards {
+			if !joins[i] {
+				continue
+			}
+			pgCard = append(pgCard, metrics.QError(nodeCards[i], lq.NodeCards[i]))
+			pgCost = append(pgCost, metrics.QError(nodeCosts[i], lq.NodeCosts[i]))
+		}
+	}
+
+	// Tree-LSTM baseline (same loss, same data).
+	tlCfg := treelstm.DefaultConfig()
+	tlCfg.Dim = cfg.Model.Dim
+	tlCfg.MaxTables = cfg.Model.MaxTables
+	tl := treelstm.New(db, tlCfg, cfg.Seed+5)
+	tl.Train(train, cfg.Epochs, cfg.Seed+6)
+	var tlCard, tlCost []float64
+	for _, lq := range test {
+		cards, costs := tl.Predict(lq)
+		joins := isJoinNode(lq)
+		for i := range cards {
+			if !joins[i] {
+				continue
+			}
+			tlCard = append(tlCard, metrics.QError(cards[i], lq.NodeCards[i]))
+			tlCost = append(tlCost, metrics.QError(costs[i], lq.NodeCosts[i]))
+		}
+	}
+
+	// MTMLF-QO (joint) and the single-task ablations.
+	joint := trainedModel(cfg, db, gen, train, 1, 1, 1, cfg.Seed+10)
+	cardOnly := trainedModel(cfg, db, gen, train, 1, 0, 0, cfg.Seed+20)
+	costOnly := trainedModel(cfg, db, gen, train, 0, 1, 0, cfg.Seed+30)
+
+	evalModel := func(m *mtmlf.Model) (cq, coq []float64) {
+		for _, lq := range test {
+			cards := m.EstimateNodeCards(lq)
+			costs := m.EstimateNodeCosts(lq)
+			joins := isJoinNode(lq)
+			for i := range cards {
+				if !joins[i] {
+					continue
+				}
+				cq = append(cq, metrics.QError(cards[i], lq.NodeCards[i]))
+				coq = append(coq, metrics.QError(costs[i], lq.NodeCosts[i]))
+			}
+		}
+		return cq, coq
+	}
+	jCard, jCost := evalModel(joint)
+	aCard, _ := evalModel(cardOnly)
+	_, bCost := evalModel(costOnly)
+
+	row := func(method string, card, costq []float64, hasCard, hasCost bool) Table1Row {
+		r := Table1Row{Method: method, HasCard: hasCard, HasCost: hasCost}
+		if hasCard {
+			s := metrics.Summarize(card)
+			r.CardMedian, r.CardMax, r.CardMean = s.Median, s.Max, s.Mean
+		}
+		if hasCost {
+			s := metrics.Summarize(costq)
+			r.CostMedian, r.CostMax, r.CostMean = s.Median, s.Max, s.Mean
+		}
+		return r
+	}
+	return &Table1Result{Rows: []Table1Row{
+		row("PostgreSQL", pgCard, pgCost, true, true),
+		row("Tree-LSTM", tlCard, tlCost, true, true),
+		row("MTMLF-QO", jCard, jCost, true, true),
+		row("MTMLF-CardEst", aCard, nil, true, false),
+		row("MTMLF-CostEst", nil, bCost, false, true),
+	}}, nil
+}
+
+// String renders the paper-style table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Q-errors on the JOB-like workload\n")
+	fmt.Fprintf(&b, "%-16s %29s   %29s\n", "", "Cardinality", "Cost")
+	fmt.Fprintf(&b, "%-16s %9s %9s %9s   %9s %9s %9s\n", "Method", "median", "max", "mean", "median", "max", "mean")
+	for _, row := range r.Rows {
+		card := [3]string{`\`, `\`, `\`}
+		costc := [3]string{`\`, `\`, `\`}
+		if row.HasCard {
+			card = [3]string{f3(row.CardMedian), f3(row.CardMax), f3(row.CardMean)}
+		}
+		if row.HasCost {
+			costc = [3]string{f3(row.CostMedian), f3(row.CostMax), f3(row.CostMean)}
+		}
+		fmt.Fprintf(&b, "%-16s %9s %9s %9s   %9s %9s %9s\n",
+			row.Method, card[0], card[1], card[2], costc[0], costc[1], costc[2])
+	}
+	return b.String()
+}
+
+func f3(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: simulated execution time under different join orders
+// ---------------------------------------------------------------------------
+
+// Table2Row is one method's total simulated time.
+type Table2Row struct {
+	Method      string
+	TotalTime   float64
+	Improvement float64 // vs the PostgreSQL baseline; baseline row is 0
+	OptimalFrac float64 // fraction of test queries with the optimal order
+}
+
+// Table2Result reproduces the paper's Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 compares join orders from the PostgreSQL-style optimizer,
+// the exact optimizer (ECQO stand-in), jointly trained MTMLF-QO, and
+// the JoinSel-only ablation, by total C_out simulated execution time
+// on held-out queries.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	db := datagen.SyntheticIMDB(cfg.Seed, cfg.IMDBScale)
+	gen := workload.NewGenerator(db, cfg.Seed+2)
+	wcfg := cfg.Workload
+	wcfg.WithOptimal = true
+	if wcfg.MaxTables > workload.MaxOptimalTables {
+		wcfg.MaxTables = workload.MaxOptimalTables
+	}
+	all := gen.Generate(cfg.JoinSelQueries, wcfg)
+	// The paper splits 20K queries 85/10/5, leaving 1000 test queries;
+	// at our reduced workload size a 5% test split would be a handful
+	// of queries, so we hold out 20% to keep the comparison stable.
+	train, _, test := workload.Split(all, 0.75, 0.05)
+
+	joint := trainedModel(cfg, db, gen, train, 1, 1, 1, cfg.Seed+40)
+	joOnly := trainedModel(cfg, db, gen, train, 0, 0, 1, cfg.Seed+50)
+	st := stats.Analyze(db)
+
+	var pgTime, optTime, jointTime, joTime float64
+	var jointOpt, joOpt int
+	nLabeled := 0
+	for _, lq := range test {
+		if len(lq.OptimalOrder) < 2 {
+			continue
+		}
+		nLabeled++
+		ex := sqldb.NewExecutor(db, lq.Q)
+		// PostgreSQL: exact DP over estimated cards.
+		pgRes, err := optimizer.BestLeftDeep(lq.Q, optimizer.EstimatedCards{S: st, Q: lq.Q})
+		if err != nil {
+			return nil, err
+		}
+		pgTime += cost.SimulatedTimeOrder(ex, pgRes.Order)
+		// Optimal.
+		optTime += cost.SimulatedTimeOrder(ex, lq.OptimalOrder)
+		// MTMLF variants.
+		evalJO := func(m *mtmlf.Model) (float64, bool) {
+			rep := m.Represent(lq.Q, lq.Plan)
+			order := m.JoinOrderFor(lq.Q, rep)
+			t := cost.SimulatedTimeOrder(ex, order)
+			return t, metrics.JOEU(order, lq.OptimalOrder) == 1
+		}
+		tj, isOpt := evalJO(joint)
+		jointTime += tj
+		if isOpt {
+			jointOpt++
+		}
+		to, isOpt2 := evalJO(joOnly)
+		joTime += to
+		if isOpt2 {
+			joOpt++
+		}
+	}
+	if nLabeled == 0 {
+		return nil, fmt.Errorf("experiments: no labeled test queries")
+	}
+	fr := func(n int) float64 { return float64(n) / float64(nLabeled) }
+	return &Table2Result{Rows: []Table2Row{
+		{Method: "PostgreSQL", TotalTime: pgTime},
+		{Method: "Optimal", TotalTime: optTime, Improvement: metrics.ImprovementRatio(pgTime, optTime), OptimalFrac: 1},
+		{Method: "MTMLF-QO", TotalTime: jointTime, Improvement: metrics.ImprovementRatio(pgTime, jointTime), OptimalFrac: fr(jointOpt)},
+		{Method: "MTMLF-JoinSel", TotalTime: joTime, Improvement: metrics.ImprovementRatio(pgTime, joTime), OptimalFrac: fr(joOpt)},
+	}}, nil
+}
+
+// String renders the paper-style table.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: simulated execution time with different join orders\n")
+	fmt.Fprintf(&b, "%-16s %14s %14s %12s\n", "JoinOrder", "Total Time", "Improvement", "Optimal%")
+	for _, row := range r.Rows {
+		imp := `\`
+		if row.Method != "PostgreSQL" {
+			imp = fmt.Sprintf("%.1f%%", row.Improvement*100)
+		}
+		fmt.Fprintf(&b, "%-16s %14.0f %14s %11.0f%%\n", row.Method, row.TotalTime, imp, row.OptimalFrac*100)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: cross-DB transferability
+// ---------------------------------------------------------------------------
+
+// Table3Row is one method's total time on the held-out database.
+type Table3Row struct {
+	Method      string
+	TotalTime   float64
+	Improvement float64
+}
+
+// Table3Result reproduces the paper's Table 3.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 generates a fleet of databases with the Section 6.2
+// pipeline, meta-trains MTMLF-QO on all but the last via Algorithm 1,
+// attaches the held-out database's (F) module, fine-tunes on a small
+// number of queries, and compares simulated execution time against the
+// PostgreSQL baseline and an MTMLF-QO trained from scratch on the
+// held-out database.
+func RunTable3(cfg Config) (*Table3Result, error) {
+	dbs := datagen.GenerateFleet(cfg.Seed+100, cfg.NumDBs, cfg.Datagen)
+	trainDBs := dbs[:len(dbs)-1]
+	testDB := dbs[len(dbs)-1]
+
+	wcfg := cfg.Workload
+	wcfg.WithOptimal = true
+	// Transfer queries go one table larger than the base workload
+	// (capped by each generated DB's size): larger joins leave more
+	// room between good and bad orders, which is what Table 3 measures.
+	wcfg.MaxTables++
+	if wcfg.MaxTables > workload.MaxOptimalTables {
+		wcfg.MaxTables = workload.MaxOptimalTables
+	}
+	mlaOpts := mtmlf.MLAOptions{
+		QueriesPerDB:        cfg.QueriesPerDB,
+		SingleTablePerTable: cfg.EncoderQueries,
+		EncoderEpochs:       cfg.EncoderEpochs,
+		JointEpochs:         cfg.Epochs,
+		Workload:            wcfg,
+		Seed:                cfg.Seed + 200,
+	}
+
+	// MLA pre-training on the training fleet (Algorithm 1).
+	shared := mtmlf.NewShared(cfg.Model, cfg.Seed+300)
+	mtmlf.TrainMLA(shared, trainDBs, mlaOpts)
+
+	// Attach the held-out DB: train its (F) module, then fine-tune the
+	// shared modules gently (low learning rate — the pre-trained
+	// modules already transfer, and an aggressive local fit destroys
+	// the meta-knowledge; see EXPERIMENTS.md).
+	testTask := mtmlf.NewDBTask(shared, testDB, mlaOpts, cfg.Seed+400)
+	testQueries := testTask.Queries
+	nft := cfg.FineTuneQueries
+	if nft > len(testQueries)/2 {
+		nft = len(testQueries) / 2
+	}
+	ftSet := testQueries[:nft]
+	evalSet := testQueries[nft:]
+	testTask.Model.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR/10, cfg.Seed+500)
+
+	// Controlled study: MTMLF-QO trained from scratch on the same
+	// local workload (the held-out evaluation queries are excluded
+	// from every model's training data). The paper trains its single
+	// model on the test DB's own 20K-query workload; at our scale the
+	// local workload IS small, which is exactly the cold-start setting
+	// MTMLF targets.
+	gen := testTask.Gen
+	single := trainedModel(cfg, testDB, gen, ftSet, 1, 1, 1, cfg.Seed+600)
+
+	// Second control: identical fine-tuning applied to a FRESH
+	// (un-pre-trained) shared module, isolating what MLA pre-training
+	// contributes beyond local adaptation.
+	fresh := &mtmlf.Model{Shared: mtmlf.NewShared(cfg.Model, cfg.Seed+300), Feat: testTask.Model.Feat}
+	fresh.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR, cfg.Seed+700)
+
+	st := stats.Analyze(testDB)
+	var pgTime, optTime, mlaTime, singleTime, freshTime float64
+	for _, lq := range evalSet {
+		if len(lq.OptimalOrder) < 2 {
+			continue
+		}
+		ex := sqldb.NewExecutor(testDB, lq.Q)
+		pgRes, err := optimizer.BestLeftDeep(lq.Q, optimizer.EstimatedCards{S: st, Q: lq.Q})
+		if err != nil {
+			return nil, err
+		}
+		pgTime += cost.SimulatedTimeOrder(ex, pgRes.Order)
+		optTime += cost.SimulatedTimeOrder(ex, lq.OptimalOrder)
+		timeOf := func(m *mtmlf.Model) float64 {
+			rep := m.Represent(lq.Q, lq.Plan)
+			return cost.SimulatedTimeOrder(ex, m.JoinOrderFor(lq.Q, rep))
+		}
+		mlaTime += timeOf(testTask.Model)
+		singleTime += timeOf(single)
+		freshTime += timeOf(fresh)
+	}
+	return &Table3Result{Rows: []Table3Row{
+		{Method: "PostgreSQL", TotalTime: pgTime},
+		{Method: "Optimal", TotalTime: optTime, Improvement: metrics.ImprovementRatio(pgTime, optTime)},
+		{Method: "MTMLF-QO (MLA)", TotalTime: mlaTime, Improvement: metrics.ImprovementRatio(pgTime, mlaTime)},
+		{Method: "MTMLF-QO (single)", TotalTime: singleTime, Improvement: metrics.ImprovementRatio(pgTime, singleTime)},
+		{Method: "MTMLF-QO (no pre-train)", TotalTime: freshTime, Improvement: metrics.ImprovementRatio(pgTime, freshTime)},
+	}}, nil
+}
+
+// String renders the paper-style table.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: cross-DB transfer — execution time on the held-out DB\n")
+	fmt.Fprintf(&b, "%-24s %14s %14s\n", "JoinOrder", "Total Time", "Improvement")
+	for _, row := range r.Rows {
+		imp := `\`
+		if row.Method != "PostgreSQL" {
+			imp = fmt.Sprintf("%.1f%%", row.Improvement*100)
+		}
+		fmt.Fprintf(&b, "%-24s %14.0f %14s\n", row.Method, row.TotalTime, imp)
+	}
+	return b.String()
+}

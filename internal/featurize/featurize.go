@@ -1,0 +1,280 @@
+// Package featurize implements the MTMLF (F) featurization and
+// encoding module (Figure 2, F.i–F.ii): predicate featurization into
+// fixed-width token vectors, and the per-table transformer encoders
+// Enc_i that summarize each table's filtered data distribution. All
+// database-specific knowledge — value distributions, column layouts —
+// lives here, which is exactly what the paper's meta-learning argument
+// requires: swapping this module retargets a pre-trained (S)+(T) stack
+// to a new database.
+package featurize
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/stats"
+	"mtmlf/internal/tensor"
+	"mtmlf/internal/workload"
+)
+
+// Config sizes the featurization.
+type Config struct {
+	// Dim is the model dimension d shared with the (S)/(T) modules.
+	Dim int
+	// Heads and Blocks configure each Enc_i transformer (paper: 4
+	// heads, 3 blocks; tests use smaller).
+	Heads, Blocks int
+	// MaxCols is the number of hash slots for column identity.
+	MaxCols int
+	// CharDims is the width of the hashed character-trigram bag used
+	// for string/LIKE values.
+	CharDims int
+	// LR is the Adam learning rate for encoder pre-training.
+	LR float64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{Dim: 32, Heads: 2, Blocks: 2, MaxCols: 8, CharDims: 12, LR: 1e-3}
+}
+
+// TokenWidth returns the raw filter-token width: column slots +
+// operators + (value, isNumeric) + char bag + 3 pattern flags +
+// 2 statistic features (the ANALYZE-estimated selectivity of the
+// predicate and the log table size, following the featurization of
+// the papers cited for F.i [Neo; Sun & Li], which feed traditional
+// estimator outputs to the model as hints).
+func (c Config) TokenWidth() int { return c.MaxCols + 7 + 2 + c.CharDims + 3 + 2 }
+
+// TableEncoder is one Enc_i: a learned CLS token, a projection from
+// raw filter tokens into model space, a transformer encoder, and a
+// log-cardinality head used for its single-table pre-training task.
+type TableEncoder struct {
+	Proj *nn.Linear
+	CLS  *ag.Value
+	Enc  *nn.Encoder
+	Head *nn.MLP
+}
+
+// Params implements nn.Module.
+func (e *TableEncoder) Params() []*ag.Value {
+	out := []*ag.Value{e.CLS}
+	out = append(out, e.Proj.Params()...)
+	out = append(out, e.Enc.Params()...)
+	out = append(out, e.Head.Params()...)
+	return out
+}
+
+// Featurizer is the per-database (F) module.
+type Featurizer struct {
+	DB    *sqldb.DB
+	Stats *stats.DBStats
+	Cfg   Config
+	Encs  map[string]*TableEncoder
+}
+
+// New builds a featurizer with freshly initialized encoders for every
+// table of the database.
+func New(db *sqldb.DB, cfg Config, seed int64) *Featurizer {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Featurizer{
+		DB:    db,
+		Stats: stats.Analyze(db),
+		Cfg:   cfg,
+		Encs:  map[string]*TableEncoder{},
+	}
+	for _, t := range db.Tables {
+		f.Encs[t.Name] = &TableEncoder{
+			Proj: nn.NewLinear(rng, cfg.TokenWidth(), cfg.Dim),
+			CLS:  ag.Param(tensor.RandNorm(rng, 1, cfg.Dim, 0.02)),
+			Enc:  nn.NewEncoder(rng, cfg.Dim, cfg.Heads, cfg.Blocks),
+			Head: nn.NewMLP(rng, nn.ActGELU, cfg.Dim, cfg.Dim, 1),
+		}
+	}
+	return f
+}
+
+// FilterToken builds the raw feature vector of one filter predicate
+// (F.i): hashed column slot, operator one-hot, normalized numeric
+// value, hashed character trigrams for string values, and LIKE
+// pattern-shape flags.
+func (f *Featurizer) FilterToken(flt sqldb.Filter) []float64 {
+	cfg := f.Cfg
+	w := make([]float64, cfg.TokenWidth())
+	w[hashString(flt.Col)%uint32(cfg.MaxCols)] = 1
+	off := cfg.MaxCols
+	w[off+int(flt.Op)] = 1
+	off += 7
+	// Normalized numeric value.
+	if flt.Val.Kind != sqldb.KindString {
+		w[off] = f.normalizeValue(flt)
+		w[off+1] = 1
+	}
+	off += 2
+	// Character trigram bag for strings (both = and LIKE).
+	if flt.Val.Kind == sqldb.KindString {
+		s := flt.Val.S
+		for i := 0; i+3 <= len(s); i++ {
+			tri := s[i : i+3]
+			if tri[0] == '%' || tri[1] == '%' || tri[2] == '%' {
+				continue
+			}
+			w[off+int(hashString(tri)%uint32(cfg.CharDims))] += 1
+		}
+		// L2-normalize the bag.
+		var norm float64
+		for i := 0; i < cfg.CharDims; i++ {
+			norm += w[off+i] * w[off+i]
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for i := 0; i < cfg.CharDims; i++ {
+				w[off+i] /= norm
+			}
+		}
+	}
+	off += cfg.CharDims
+	// LIKE pattern shape flags: leading %, trailing %, wildcard count.
+	if flt.Op == sqldb.OpLike {
+		p := flt.Val.S
+		if len(p) > 0 && p[0] == '%' {
+			w[off] = 1
+		}
+		if len(p) > 0 && p[len(p)-1] == '%' {
+			w[off+1] = 1
+		}
+		wc := 0
+		for i := 0; i < len(p); i++ {
+			if p[i] == '%' || p[i] == '_' {
+				wc++
+			}
+		}
+		w[off+2] = float64(wc) / 4
+	}
+	off += 3
+	// Statistic hints: ANALYZE-estimated selectivity and log table size.
+	w[off] = f.Stats.Selectivity(flt)
+	if ts, ok := f.Stats.Tables[flt.Table]; ok {
+		w[off+1] = math.Log(float64(ts.RowCount)+1) / 20
+	}
+	return w
+}
+
+// normalizeValue min-max normalizes a numeric comparison value using
+// the ANALYZE statistics.
+func (f *Featurizer) normalizeValue(flt sqldb.Filter) float64 {
+	ts, ok := f.Stats.Tables[flt.Table]
+	if !ok {
+		return 0.5
+	}
+	cs, ok := ts.Cols[flt.Col]
+	if !ok || cs.Max <= cs.Min {
+		return 0.5
+	}
+	var v float64
+	if flt.Val.Kind == sqldb.KindInt {
+		v = float64(flt.Val.I)
+	} else {
+		v = flt.Val.F
+	}
+	x := (v - cs.Min) / (cs.Max - cs.Min)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// EncodeTable runs Enc_i over the filters applying to one table and
+// returns E(f(T_i)) — a [1, Dim] representation of the table's
+// filtered distribution (F.ii). With no filters it encodes the
+// unfiltered distribution (the CLS token alone).
+func (f *Featurizer) EncodeTable(table string, filters []sqldb.Filter) *ag.Value {
+	enc, ok := f.Encs[table]
+	if !ok {
+		panic(fmt.Sprintf("featurize: unknown table %q", table))
+	}
+	rows := []*ag.Value{enc.CLS}
+	if len(filters) > 0 {
+		raw := tensor.New(len(filters), f.Cfg.TokenWidth())
+		for i, flt := range filters {
+			copy(raw.Row(i), f.FilterToken(flt))
+		}
+		rows = append(rows, enc.Proj.Forward(ag.Const(raw)))
+	}
+	seq := ag.ConcatRows(rows...)
+	out := enc.Enc.Forward(seq, nil)
+	return ag.SliceRows(out, 0, 1)
+}
+
+// PredictLogCard runs the single-table CardEst head of Enc_i — its
+// pre-training task ("E_i learns the data distribution of T_i through
+// predicting the cardinality of filter predicate f(T_i)").
+func (f *Featurizer) PredictLogCard(table string, filters []sqldb.Filter) *ag.Value {
+	e := f.EncodeTable(table, filters)
+	return f.Encs[table].Head.Forward(e)
+}
+
+// PretrainResult reports one encoder's pre-training outcome.
+type PretrainResult struct {
+	Table     string
+	FinalLoss float64
+	Steps     int
+}
+
+// PretrainEncoder trains one Enc_i on labeled single-table queries by
+// minimizing |log ĉ − log c| (log q-error). Returns the final
+// running-average loss.
+func (f *Featurizer) PretrainEncoder(table string, data []workload.SingleTableQuery, epochs int) PretrainResult {
+	enc := f.Encs[table]
+	opt := nn.NewAdam(enc.Params(), f.Cfg.LR)
+	var running float64
+	steps := 0
+	for ep := 0; ep < epochs; ep++ {
+		for _, q := range data {
+			opt.ZeroGrad()
+			pred := f.PredictLogCard(table, q.Filters)
+			target := ag.Scalar(math.Log(q.Card))
+			loss := ag.MeanAll(ag.Abs(ag.Sub(pred, target)))
+			loss.Backward()
+			opt.Step()
+			running = 0.95*running + 0.05*loss.Item()
+			steps++
+		}
+	}
+	return PretrainResult{Table: table, FinalLoss: running, Steps: steps}
+}
+
+// PretrainAll trains every table encoder on freshly generated
+// single-table workloads (Algorithm 1 line 4).
+func (f *Featurizer) PretrainAll(gen *workload.Generator, perTable, epochs int, cfg workload.Config) []PretrainResult {
+	var out []PretrainResult
+	for _, t := range f.DB.Tables {
+		data := gen.GenSingleTable(t.Name, perTable, cfg)
+		out = append(out, f.PretrainEncoder(t.Name, data, epochs))
+	}
+	return out
+}
+
+// Params returns all encoder parameters (the database-specific
+// parameter set, excluded from cross-DB transfer).
+func (f *Featurizer) Params() []*ag.Value {
+	var out []*ag.Value
+	for _, t := range f.DB.Tables { // stable order
+		out = append(out, f.Encs[t.Name].Params()...)
+	}
+	return out
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}

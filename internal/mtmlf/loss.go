@@ -1,0 +1,117 @@
+package mtmlf
+
+import (
+	"math"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
+	"mtmlf/internal/workload"
+)
+
+// This file implements the (L) loss criteria of Figure 2:
+//
+//	L.i / L.ii  — q-error losses for CardEst and CostEst. We optimize
+//	              |log ĉ − log c|, the logarithm of the q-error
+//	              max(ĉ/c, c/ĉ); the two have identical minimizers and
+//	              the log form keeps gradients bounded for an
+//	              untrained model.
+//	L.iii       — token-level cross-entropy over join-order positions.
+//	Section 5   — the sequence-level loss of Equation 3 built from
+//	              beam-search candidates and JOEU.
+//	Equation 1  — the weighted joint loss.
+
+// logTargets converts positive labels into a [n,1] constant of logs.
+func logTargets(vals []float64) *ag.Value {
+	t := tensor.New(len(vals), 1)
+	for i, v := range vals {
+		if v < 1 {
+			v = 1
+		}
+		t.Data[i] = math.Log(v)
+	}
+	return ag.Const(t)
+}
+
+// CardLoss is the L.i q-error loss over every plan node.
+func (m *Model) CardLoss(rep *Representation, lq *workload.LabeledQuery) *ag.Value {
+	pred := m.PredictLogCards(rep)
+	return ag.MeanAll(ag.Abs(ag.Sub(pred, logTargets(lq.NodeCards))))
+}
+
+// CostLoss is the L.ii q-error loss over every plan node.
+func (m *Model) CostLoss(rep *Representation, lq *workload.LabeledQuery) *ag.Value {
+	pred := m.PredictLogCosts(rep)
+	return ag.MeanAll(ag.Abs(ag.Sub(pred, logTargets(lq.NodeCosts))))
+}
+
+// orderPositions maps an optimal join order (table names) to memory
+// positions within the representation.
+func orderPositions(rep *Representation, order []string) []int {
+	pos := map[string]int{}
+	for i, t := range rep.Tables {
+		pos[t] = i
+	}
+	out := make([]int, len(order))
+	for i, t := range order {
+		out[i] = pos[t]
+	}
+	return out
+}
+
+// JoinOrderTokenLoss is the L.iii token-level cross-entropy with
+// teacher forcing: at each timestamp the ground-truth prefix is fed
+// and the next optimal table is the target.
+func (m *Model) JoinOrderTokenLoss(rep *Representation, optimal []string) *ag.Value {
+	targets := orderPositions(rep, optimal)
+	logits := m.Shared.JO.Logits(rep.Memory, targets[:len(targets)-1])
+	return ag.CrossEntropyRows(logits, targets)
+}
+
+// JoinOrderSequenceLoss is the Equation 3 sequence-level loss:
+//
+//	L = −log p(u*|x)
+//	  + Σ_{u ∈ U(x)}  (1 − JOEU(u, u*)) · log p(u|x)
+//	  + λ · log Σ_{u ∈ Ū(x)} p(u|x)
+//
+// where U(x) / Ū(x) are the legal / illegal candidate sets produced by
+// an unconstrained beam search.
+func (m *Model) JoinOrderSequenceLoss(rep *Representation, q *sqldb.Query, optimal []string) *ag.Value {
+	jo := m.Shared.JO
+	targets := orderPositions(rep, optimal)
+	loss := ag.Scale(jo.ScoreSequence(rep.Memory, targets), -1)
+
+	cands := jo.BeamSearch(rep.Memory, q, m.Shared.Cfg.BeamWidth, false)
+	var illegalScores []*ag.Value
+	for _, c := range cands {
+		if same(c.Positions, targets) {
+			continue
+		}
+		score := jo.ScoreSequence(rep.Memory, c.Positions)
+		if c.Legal {
+			joeu := metrics.JOEUInt(c.Positions, targets)
+			loss = ag.Add(loss, ag.Scale(score, 1-joeu))
+		} else {
+			illegalScores = append(illegalScores, score)
+		}
+	}
+	if len(illegalScores) > 0 {
+		// log Σ exp(score): scores are log-probs (≤ 0), so exp is safe.
+		row := ag.ConcatCols(illegalScores...)
+		loss = ag.Add(loss, ag.Scale(ag.Log(ag.SumAll(ag.Exp(row))), m.Shared.Cfg.Lambda))
+	}
+	return loss
+}
+
+func same(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

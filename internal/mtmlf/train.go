@@ -1,0 +1,184 @@
+package mtmlf
+
+import (
+	"math/rand"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/featurize"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
+)
+
+// newFeaturizer builds a featurizer sized by the model config.
+func newFeaturizer(db *sqldb.DB, cfg Config, seed int64) *featurize.Featurizer {
+	return featurize.New(db, cfg.Feat, seed)
+}
+
+// TrainOptions controls joint training.
+type TrainOptions struct {
+	// Epochs over the training set.
+	Epochs int
+	// SeqLevelLoss switches Trans_JO from the token-level
+	// cross-entropy to the Equation 3 sequence-level loss (Section 5).
+	SeqLevelLoss bool
+	// Seed shuffles the training order.
+	Seed int64
+	// LR overrides the config learning rate when > 0.
+	LR float64
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Steps     int
+	FinalLoss float64
+}
+
+// TrainJoint trains the (S) and (T) modules jointly on all three tasks
+// with the Equation 1 loss. Per the paper, the gradient updates (S)
+// and (T) only; the per-table encoders of the (F) module are
+// pre-trained separately (Featurizer.PretrainAll) and stay frozen
+// here. Single-task ablations (MTMLF-CardEst etc.) are obtained by
+// zeroing the other weights in Config.
+func (m *Model) TrainJoint(train []*workload.LabeledQuery, opts TrainOptions) TrainStats {
+	cfg := m.Shared.Cfg
+	lr := cfg.LR
+	if opts.LR > 0 {
+		lr = opts.LR
+	}
+	opt := nn.NewAdam(m.Shared.Params(), lr)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var running float64
+	steps := 0
+	for ep := 0; ep < opts.Epochs; ep++ {
+		order := rng.Perm(len(train))
+		for _, qi := range order {
+			lq := train[qi]
+			opt.ZeroGrad()
+			rep := m.Represent(lq.Q, lq.Plan)
+			loss := ag.Scalar(0)
+			if cfg.WCard > 0 {
+				loss = ag.Add(loss, ag.Scale(m.CardLoss(rep, lq), cfg.WCard))
+			}
+			if cfg.WCost > 0 {
+				loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, lq), cfg.WCost))
+			}
+			if cfg.WJo > 0 && len(lq.OptimalOrder) >= 2 {
+				var jo *ag.Value
+				if opts.SeqLevelLoss {
+					jo = m.JoinOrderSequenceLoss(rep, lq.Q, lq.OptimalOrder)
+				} else {
+					jo = m.JoinOrderTokenLoss(rep, lq.OptimalOrder)
+				}
+				loss = ag.Add(loss, ag.Scale(jo, cfg.WJo))
+			}
+			loss.Backward()
+			opt.Step()
+			running = 0.95*running + 0.05*loss.Item()
+			steps++
+		}
+	}
+	return TrainStats{Steps: steps, FinalLoss: running}
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: cross-DB meta-learning (MLA)
+// ---------------------------------------------------------------------------
+
+// DBTask bundles one database's generator, featurizer, and labeled
+// workload for MLA.
+type DBTask struct {
+	DB      *sqldb.DB
+	Gen     *workload.Generator
+	Model   *Model // shares Shared with every other task
+	Queries []*workload.LabeledQuery
+}
+
+// MLAOptions controls the meta-learning run.
+type MLAOptions struct {
+	// QueriesPerDB is the multi-table workload size per database.
+	QueriesPerDB int
+	// SingleTablePerTable and EncoderEpochs control Enc_i pre-training
+	// (Algorithm 1 line 4).
+	SingleTablePerTable int
+	EncoderEpochs       int
+	// JointEpochs trains (S)+(T) over the shuffled pooled data
+	// (Algorithm 1 lines 7–8).
+	JointEpochs int
+	// Workload configures query generation.
+	Workload workload.Config
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// TrainMLA runs Algorithm 1: for each database it trains the
+// single-table encoders and builds a labeled workload (lines 3–6),
+// then trains the shared (S) and (T) modules on the pooled, shuffled
+// examples (lines 7–8). It returns the per-DB tasks so callers can
+// evaluate the shared modules on each database or attach a new one.
+func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
+	tasks := make([]*DBTask, len(dbs))
+	for i, db := range dbs {
+		task := NewDBTask(shared, db, opts, opts.Seed+int64(i)*101)
+		tasks[i] = task
+	}
+	// Pool and shuffle (db, query) pairs (line 7).
+	type sample struct {
+		task *DBTask
+		lq   *workload.LabeledQuery
+	}
+	var pool []sample
+	for _, t := range tasks {
+		for _, lq := range t.Queries {
+			pool = append(pool, sample{t, lq})
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
+	for ep := 0; ep < opts.JointEpochs; ep++ {
+		for _, pi := range rng.Perm(len(pool)) {
+			s := pool[pi]
+			m := s.task.Model
+			opt.ZeroGrad()
+			rep := m.Represent(s.lq.Q, s.lq.Plan)
+			loss := ag.Scale(m.CardLoss(rep, s.lq), shared.Cfg.WCard)
+			loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, s.lq), shared.Cfg.WCost))
+			if shared.Cfg.WJo > 0 && len(s.lq.OptimalOrder) >= 2 {
+				loss = ag.Add(loss, ag.Scale(m.JoinOrderTokenLoss(rep, s.lq.OptimalOrder), shared.Cfg.WJo))
+			}
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return tasks
+}
+
+// NewDBTask prepares one database for MLA or transfer: analyzing it,
+// pre-training its (F) encoders, and labeling a workload.
+//
+// Every database's featurizer is initialized from the SAME seed
+// (derived from opts.Seed, not the per-DB seed): the provider ships a
+// canonical encoder initialization alongside the pre-trained (S)+(T)
+// modules, so that independently pre-trained per-table encoders live
+// in roughly aligned embedding spaces. Without this, each DB's Enc_i
+// would occupy an arbitrary rotation of feature space and the shared
+// modules could not extrapolate across DBs.
+func NewDBTask(shared *Shared, db *sqldb.DB, opts MLAOptions, seed int64) *DBTask {
+	gen := workload.NewGenerator(db, seed)
+	model := &Model{Shared: shared, Feat: newFeaturizer(db, shared.Cfg, opts.Seed+7)}
+	model.Feat.PretrainAll(gen, opts.SingleTablePerTable, opts.EncoderEpochs, opts.Workload)
+	return &DBTask{
+		DB:      db,
+		Gen:     gen,
+		Model:   model,
+		Queries: gen.Generate(opts.QueriesPerDB, opts.Workload),
+	}
+}
+
+// FineTune adapts a pre-trained Shared to a new database's workload
+// with a small number of examples — the user-side step of the paper's
+// cloud workflow ("execute a small number of representative queries to
+// fine-tune the pre-trained MTMLF").
+func (m *Model) FineTune(examples []*workload.LabeledQuery, epochs int, lr float64, seed int64) TrainStats {
+	return m.TrainJoint(examples, TrainOptions{Epochs: epochs, Seed: seed, LR: lr})
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mtmlf/internal/ag"
+)
+
+// paramBlob is the on-wire form of one parameter tensor.
+type paramBlob struct {
+	Shape []int
+	Data  []float64
+}
+
+// Save writes the parameters (in order) to w using encoding/gob. Load
+// with the same architecture restores them; this is how pre-trained
+// MTMLF (S)+(T) modules are shipped to a "new DB" in the paper's
+// cloud-service workflow (Section 2.3).
+func Save(w io.Writer, params []*ag.Value) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{Shape: p.T.Shape, Data: p.T.Data}
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// Load reads parameters written by Save into the given parameter list,
+// which must match in count and per-tensor shape.
+func Load(r io.Reader, params []*ag.Value) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode parameters: %w", err)
+	}
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: parameter count mismatch: file has %d, model has %d", len(blobs), len(params))
+	}
+	for i, b := range blobs {
+		p := params[i]
+		if len(b.Data) != p.T.Size() {
+			return fmt.Errorf("nn: parameter %d size mismatch: file %d, model %d", i, len(b.Data), p.T.Size())
+		}
+		copy(p.T.Data, b.Data)
+	}
+	return nil
+}
+
+// CopyParams copies parameter values from src to dst (shapes must match
+// pairwise). Used when cloning a pre-trained module for fine-tuning so
+// the original stays intact.
+func CopyParams(dst, src []*ag.Value) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].T.Size() != src[i].T.Size() {
+			return fmt.Errorf("nn: CopyParams size mismatch at %d", i)
+		}
+		copy(dst[i].T.Data, src[i].T.Data)
+	}
+	return nil
+}

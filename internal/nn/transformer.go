@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product attention with h
+// heads over row-major [seq, dim] matrices, as in Vaswani et al.,
+// which the paper uses for Enc_i, Trans_Share and Trans_JO.
+type MultiHeadAttention struct {
+	WQ, WK, WV, WO *Linear
+	Heads          int
+	Dim            int
+}
+
+// NewMultiHeadAttention creates an attention block; dim must be
+// divisible by heads.
+func NewMultiHeadAttention(rng *rand.Rand, dim, heads int) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic("nn: attention dim must be divisible by heads")
+	}
+	return &MultiHeadAttention{
+		WQ:    NewLinear(rng, dim, dim),
+		WK:    NewLinear(rng, dim, dim),
+		WV:    NewLinear(rng, dim, dim),
+		WO:    NewLinear(rng, dim, dim),
+		Heads: heads,
+		Dim:   dim,
+	}
+}
+
+// Forward attends queries q [lq, dim] over keys/values kv [lk, dim].
+// mask, if non-nil, is a [lq, lk] additive mask (use -1e9 to block).
+func (a *MultiHeadAttention) Forward(q, kv *ag.Value, mask *tensor.Tensor) *ag.Value {
+	Q := a.WQ.Forward(q)
+	K := a.WK.Forward(kv)
+	V := a.WV.Forward(kv)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	heads := make([]*ag.Value, a.Heads)
+	var maskV *ag.Value
+	if mask != nil {
+		maskV = ag.Const(mask)
+	}
+	for h := 0; h < a.Heads; h++ {
+		qh := ag.SliceCols(Q, h*dh, (h+1)*dh)
+		kh := ag.SliceCols(K, h*dh, (h+1)*dh)
+		vh := ag.SliceCols(V, h*dh, (h+1)*dh)
+		scores := ag.Scale(ag.MatMulTransB(qh, kh), scale)
+		if maskV != nil {
+			scores = ag.Add(scores, maskV)
+		}
+		attn := ag.SoftmaxRows(scores)
+		heads[h] = ag.MatMul(attn, vh)
+	}
+	return a.WO.Forward(ag.ConcatCols(heads...))
+}
+
+// Params implements Module.
+func (a *MultiHeadAttention) Params() []*ag.Value {
+	return CollectParams(a.WQ, a.WK, a.WV, a.WO)
+}
+
+// EncoderLayer is one post-norm transformer encoder block:
+// x = LN(x + MHA(x)); x = LN(x + FFN(x)).
+type EncoderLayer struct {
+	Attn *MultiHeadAttention
+	FF   *MLP
+	LN1  *LayerNorm
+	LN2  *LayerNorm
+}
+
+// NewEncoderLayer creates an encoder block with a 4x-wide GELU FFN.
+func NewEncoderLayer(rng *rand.Rand, dim, heads int) *EncoderLayer {
+	return &EncoderLayer{
+		Attn: NewMultiHeadAttention(rng, dim, heads),
+		FF:   NewMLP(rng, ActGELU, dim, 4*dim, dim),
+		LN1:  NewLayerNorm(dim),
+		LN2:  NewLayerNorm(dim),
+	}
+}
+
+// Forward applies the block; mask is an optional [seq, seq] additive mask.
+func (l *EncoderLayer) Forward(x *ag.Value, mask *tensor.Tensor) *ag.Value {
+	x = l.LN1.Forward(ag.Add(x, l.Attn.Forward(x, x, mask)))
+	return l.LN2.Forward(ag.Add(x, l.FF.Forward(x)))
+}
+
+// Params implements Module.
+func (l *EncoderLayer) Params() []*ag.Value {
+	return CollectParams(l.Attn, l.FF, l.LN1, l.LN2)
+}
+
+// Encoder is a stack of encoder layers. The paper's Enc_i single-table
+// encoders and Trans_Share are both instances of this type (3 blocks,
+// 4 heads in the paper's configuration).
+type Encoder struct {
+	Layers []*EncoderLayer
+}
+
+// NewEncoder builds a stack of depth blocks.
+func NewEncoder(rng *rand.Rand, dim, heads, blocks int) *Encoder {
+	e := &Encoder{}
+	for i := 0; i < blocks; i++ {
+		e.Layers = append(e.Layers, NewEncoderLayer(rng, dim, heads))
+	}
+	return e
+}
+
+// Forward applies the stack.
+func (e *Encoder) Forward(x *ag.Value, mask *tensor.Tensor) *ag.Value {
+	for _, l := range e.Layers {
+		x = l.Forward(x, mask)
+	}
+	return x
+}
+
+// Params implements Module.
+func (e *Encoder) Params() []*ag.Value {
+	var out []*ag.Value
+	for _, l := range e.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// DecoderLayer is one post-norm transformer decoder block with causal
+// self-attention and cross-attention over the encoder memory:
+// x = LN(x + SelfAttn(x)); x = LN(x + CrossAttn(x, mem)); x = LN(x + FFN(x)).
+type DecoderLayer struct {
+	SelfAttn  *MultiHeadAttention
+	CrossAttn *MultiHeadAttention
+	FF        *MLP
+	LN1, LN2  *LayerNorm
+	LN3       *LayerNorm
+}
+
+// NewDecoderLayer creates a decoder block.
+func NewDecoderLayer(rng *rand.Rand, dim, heads int) *DecoderLayer {
+	return &DecoderLayer{
+		SelfAttn:  NewMultiHeadAttention(rng, dim, heads),
+		CrossAttn: NewMultiHeadAttention(rng, dim, heads),
+		FF:        NewMLP(rng, ActGELU, dim, 4*dim, dim),
+		LN1:       NewLayerNorm(dim),
+		LN2:       NewLayerNorm(dim),
+		LN3:       NewLayerNorm(dim),
+	}
+}
+
+// Forward applies the block. causal is a [lq, lq] additive mask for the
+// self-attention (nil for none); mem is the encoder output.
+func (l *DecoderLayer) Forward(x, mem *ag.Value, causal *tensor.Tensor) *ag.Value {
+	x = l.LN1.Forward(ag.Add(x, l.SelfAttn.Forward(x, x, causal)))
+	x = l.LN2.Forward(ag.Add(x, l.CrossAttn.Forward(x, mem, nil)))
+	return l.LN3.Forward(ag.Add(x, l.FF.Forward(x)))
+}
+
+// Params implements Module.
+func (l *DecoderLayer) Params() []*ag.Value {
+	return CollectParams(l.SelfAttn, l.CrossAttn, l.FF, l.LN1, l.LN2, l.LN3)
+}
+
+// Decoder is a stack of decoder layers; the paper's Trans_JO is one.
+type Decoder struct {
+	Layers []*DecoderLayer
+}
+
+// NewDecoder builds a stack of depth blocks.
+func NewDecoder(rng *rand.Rand, dim, heads, blocks int) *Decoder {
+	d := &Decoder{}
+	for i := 0; i < blocks; i++ {
+		d.Layers = append(d.Layers, NewDecoderLayer(rng, dim, heads))
+	}
+	return d
+}
+
+// Forward applies the stack with a shared causal mask.
+func (d *Decoder) Forward(x, mem *ag.Value, causal *tensor.Tensor) *ag.Value {
+	for _, l := range d.Layers {
+		x = l.Forward(x, mem, causal)
+	}
+	return x
+}
+
+// Params implements Module.
+func (d *Decoder) Params() []*ag.Value {
+	var out []*ag.Value
+	for _, l := range d.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// CausalMask returns an [n, n] additive mask that blocks position i
+// from attending to positions > i.
+func CausalMask(n int) *tensor.Tensor {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, -1e9)
+		}
+	}
+	return m
+}

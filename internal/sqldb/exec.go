@@ -1,0 +1,264 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// relation is an intermediate join result: a list of tuples of row ids,
+// one id per attached table.
+type relation struct {
+	tables []string
+	tIdx   map[string]int
+	rows   [][]int32
+}
+
+func singleTableRelation(name string, rows []int32) *relation {
+	r := &relation{tables: []string{name}, tIdx: map[string]int{name: 0}}
+	r.rows = make([][]int32, len(rows))
+	for i, id := range rows {
+		r.rows[i] = []int32{id}
+	}
+	return r
+}
+
+// Executor evaluates (sub-)queries of one Query against a DB, caching
+// filtered row sets and sub-plan cardinalities. The MTMLF training
+// pipeline uses it to label every node of every plan with its true
+// cardinality, and the exact DP optimizer uses it as its card oracle.
+type Executor struct {
+	DB *DB
+	Q  *Query
+
+	filtered map[string][]int32
+	cardMemo map[string]int64
+}
+
+// NewExecutor creates an executor for one query.
+func NewExecutor(db *DB, q *Query) *Executor {
+	return &Executor{
+		DB:       db,
+		Q:        q,
+		filtered: map[string][]int32{},
+		cardMemo: map[string]int64{},
+	}
+}
+
+// Filtered returns (and caches) the row ids of table t that satisfy
+// the query's filters on t.
+func (e *Executor) Filtered(t string) []int32 {
+	if rows, ok := e.filtered[t]; ok {
+		return rows
+	}
+	tab := e.DB.Table(t)
+	if tab == nil {
+		panic(fmt.Sprintf("sqldb: unknown table %q", t))
+	}
+	rows := FilterRows(tab, e.Q.FiltersFor(t))
+	e.filtered[t] = rows
+	return rows
+}
+
+// FilteredCard returns the filtered cardinality of one table.
+func (e *Executor) FilteredCard(t string) int64 { return int64(len(e.Filtered(t))) }
+
+// Cardinality executes the whole query and returns its exact count.
+func (e *Executor) Cardinality() int64 { return e.CardOf(e.Q.Tables) }
+
+// CardOf returns the exact cardinality of the sub-query restricted to
+// the given tables (their filters plus the join edges among them).
+// Disconnected components contribute multiplicatively (cross product).
+// Results are memoized per table set.
+func (e *Executor) CardOf(tables []string) int64 {
+	key := setKey(tables)
+	if c, ok := e.cardMemo[key]; ok {
+		return c
+	}
+	card := int64(1)
+	for _, comp := range e.components(tables) {
+		card *= e.componentCard(comp)
+		if card == 0 {
+			break
+		}
+	}
+	e.cardMemo[key] = card
+	return card
+}
+
+// PrefixCards returns, for a join order (left-deep), the cardinality
+// after each step: entry 0 is the filtered card of order[0], entry i
+// the exact card of joining order[0..i].
+func (e *Executor) PrefixCards(order []string) []int64 {
+	out := make([]int64, len(order))
+	for i := range order {
+		out[i] = e.CardOf(order[:i+1])
+	}
+	return out
+}
+
+// components splits a table set into connected components under the
+// query's join edges.
+func (e *Executor) components(tables []string) [][]string {
+	joins := e.Q.JoinsAmong(tables)
+	adj := map[string][]string{}
+	for _, j := range joins {
+		adj[j.T1] = append(adj[j.T1], j.T2)
+		adj[j.T2] = append(adj[j.T2], j.T1)
+	}
+	seen := map[string]bool{}
+	var comps [][]string
+	for _, t := range tables {
+		if seen[t] {
+			continue
+		}
+		var comp []string
+		stack := []string{t}
+		seen[t] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, o := range adj[x] {
+				if !seen[o] {
+					seen[o] = true
+					stack = append(stack, o)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// componentCard executes the joins of one connected component using
+// greedy smallest-first hash joins and returns the exact count.
+func (e *Executor) componentCard(tables []string) int64 {
+	if len(tables) == 1 {
+		return e.FilteredCard(tables[0])
+	}
+	// Start from the smallest filtered table.
+	start := tables[0]
+	for _, t := range tables[1:] {
+		if e.FilteredCard(t) < e.FilteredCard(start) {
+			start = t
+		}
+	}
+	rel := singleTableRelation(start, e.Filtered(start))
+	joined := map[string]bool{start: true}
+	remaining := len(tables) - 1
+	joins := e.Q.JoinsAmong(tables)
+	for remaining > 0 {
+		// Pick the joinable table with the smallest filtered card.
+		next := ""
+		for _, t := range tables {
+			if joined[t] {
+				continue
+			}
+			connected := false
+			for _, j := range joins {
+				if j.Touches(t) && joined[j.Other(t)] {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				continue
+			}
+			if next == "" || e.FilteredCard(t) < e.FilteredCard(next) {
+				next = t
+			}
+		}
+		if next == "" {
+			panic("sqldb: component not connected")
+		}
+		var edges []JoinEdge
+		for _, j := range joins {
+			if j.Touches(next) && joined[j.Other(next)] {
+				edges = append(edges, j)
+			}
+		}
+		rel = e.hashJoin(rel, next, edges)
+		joined[next] = true
+		remaining--
+		if len(rel.rows) == 0 {
+			return 0
+		}
+	}
+	return int64(len(rel.rows))
+}
+
+// hashJoin extends rel with table next using the given equality edges
+// (all of which touch next and a table already in rel).
+func (e *Executor) hashJoin(rel *relation, next string, edges []JoinEdge) *relation {
+	if len(edges) == 0 {
+		panic("sqldb: hashJoin without edges")
+	}
+	nextTab := e.DB.Table(next)
+	// Build side: hash the new table's filtered rows on the first
+	// edge's key; verify the remaining edges per match.
+	first := edges[0]
+	nextCol := nextTab.Column(first.C2)
+	relSide := first.T1
+	relColName := first.C1
+	if first.T2 != next {
+		nextCol = nextTab.Column(first.C1)
+		relSide = first.T2
+		relColName = first.C2
+	}
+	build := make(map[Value][]int32, len(e.Filtered(next)))
+	for _, id := range e.Filtered(next) {
+		v := nextCol.Value(int(id))
+		build[v] = append(build[v], id)
+	}
+	relCol := e.DB.Table(relSide).Column(relColName)
+	relPos := rel.tIdx[relSide]
+
+	// Pre-resolve the verification edges.
+	type verify struct {
+		relPos  int
+		relCol  *Column
+		nextCol *Column
+	}
+	var verifies []verify
+	for _, ed := range edges[1:] {
+		var vr verify
+		if ed.T2 == next {
+			vr = verify{relPos: rel.tIdx[ed.T1], relCol: e.DB.Table(ed.T1).Column(ed.C1), nextCol: nextTab.Column(ed.C2)}
+		} else {
+			vr = verify{relPos: rel.tIdx[ed.T2], relCol: e.DB.Table(ed.T2).Column(ed.C2), nextCol: nextTab.Column(ed.C1)}
+		}
+		verifies = append(verifies, vr)
+	}
+
+	out := &relation{
+		tables: append(append([]string{}, rel.tables...), next),
+		tIdx:   map[string]int{},
+	}
+	for i, t := range out.tables {
+		out.tIdx[t] = i
+	}
+	for _, row := range rel.rows {
+		key := relCol.Value(int(row[relPos]))
+		matches := build[key]
+	cand:
+		for _, id := range matches {
+			for _, vr := range verifies {
+				if !vr.relCol.Value(int(row[vr.relPos])).Equal(vr.nextCol.Value(int(id))) {
+					continue cand
+				}
+			}
+			nr := make([]int32, len(row)+1)
+			copy(nr, row)
+			nr[len(row)] = id
+			out.rows = append(out.rows, nr)
+		}
+	}
+	return out
+}
+
+func setKey(tables []string) string {
+	s := append([]string(nil), tables...)
+	sort.Strings(s)
+	return strings.Join(s, "\x00")
+}

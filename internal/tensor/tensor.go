@@ -1,0 +1,441 @@
+// Package tensor provides dense float64 matrices and the raw numeric
+// kernels used by the autodiff engine in internal/ag. It is the lowest
+// layer of the deep-learning substrate that substitutes for PyTorch in
+// this reproduction (see DESIGN.md, substitution table).
+//
+// Tensors are row-major. Almost all of the model code works with rank-2
+// tensors (matrices); vectors are represented as 1xN matrices.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense row-major float64 tensor. The zero value is not
+// usable; construct tensors with New, Zeros, FromSlice, or Rand.
+type Tensor struct {
+	// Data holds the elements in row-major order.
+	Data []float64
+	// Shape holds the extent of each dimension.
+	Shape []int
+}
+
+// New creates a zero-initialized tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", s))
+		}
+		n *= s
+	}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Tensor{Data: make([]float64, n), Shape: sh}
+}
+
+// Zeros is an alias of New, provided for readability at call sites.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Full creates a tensor filled with value v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// FromSlice creates a rows x cols matrix from a flat row-major slice.
+// The slice is copied.
+func FromSlice(data []float64, rows, cols int) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	t := New(rows, cols)
+	copy(t.Data, data)
+	return t
+}
+
+// FromRows creates a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Tensor {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	t := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("tensor: FromRows ragged input")
+		}
+		copy(t.Data[i*c:(i+1)*c], r)
+	}
+	return t
+}
+
+// Vector creates a 1xN matrix from data (copied).
+func Vector(data []float64) *Tensor { return FromSlice(append([]float64(nil), data...), 1, len(data)) }
+
+// Rand creates a rows x cols matrix with entries drawn uniformly from
+// [-scale, scale] using rng.
+func Rand(rng *rand.Rand, rows, cols int, scale float64) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return t
+}
+
+// RandNorm creates a rows x cols matrix with N(0, std) entries.
+func RandNorm(rng *rand.Rand, rows, cols int, std float64) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Xavier creates a rows x cols matrix with Glorot-uniform initialization.
+func Xavier(rng *rand.Rand, rows, cols int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	return Rand(rng, rows, cols, limit)
+}
+
+// Rows returns the first dimension extent (panics if not a matrix).
+func (t *Tensor) Rows() int { t.mustMatrix(); return t.Shape[0] }
+
+// Cols returns the second dimension extent (panics if not a matrix).
+func (t *Tensor) Cols() int { t.mustMatrix(); return t.Shape[1] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+func (t *Tensor) mustMatrix() {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: expected matrix, got shape %v", t.Shape))
+	}
+}
+
+// At returns element (i, j) of a matrix.
+func (t *Tensor) At(i, j int) float64 {
+	t.mustMatrix()
+	return t.Data[i*t.Shape[1]+j]
+}
+
+// Set assigns element (i, j) of a matrix.
+func (t *Tensor) Set(i, j int, v float64) {
+	t.mustMatrix()
+	t.Data[i*t.Shape[1]+j] = v
+}
+
+// Row returns a view (not a copy) of row i of a matrix.
+func (t *Tensor) Row(i int) []float64 {
+	t.mustMatrix()
+	c := t.Shape[1]
+	return t.Data[i*c : (i+1)*c]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace accumulates o into t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Add returns t + o elementwise.
+func Add(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product.
+func Mul(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// MatMul returns a @ b for matrices a [m,k] and b [k,n].
+// The inner loop is ordered (i, l, j) so both b and out are accessed
+// sequentially; this is the hot kernel of the whole substrate.
+func MatMul(a, b *Tensor) *Tensor {
+	a.mustMatrix()
+	b.mustMatrix()
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*n : (l+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ b^T for a [m,k], b [n,k]. It avoids
+// materializing the transpose, which the attention kernels rely on.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	a.mustMatrix()
+	b.mustMatrix()
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %v @ %v^T", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for l := 0; l < k; l++ {
+				s += arow[l] * brow[l]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns a^T @ b for a [k,m], b [k,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	a.mustMatrix()
+	b.mustMatrix()
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dim mismatch %v^T @ %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for l := 0; l < k; l++ {
+		arow := a.Data[l*m : (l+1)*m]
+		brow := b.Data[l*n : (l+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the matrix transpose.
+func Transpose(a *Tensor) *Tensor {
+	a.mustMatrix()
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// SumAll returns the sum of all elements.
+func SumAll(a *Tensor) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAll returns the maximum element (−Inf for empty tensors).
+func MaxAll(a *Tensor) float64 {
+	m := math.Inf(-1)
+	for _, v := range a.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SumRows returns a 1xN row containing the column sums of a matrix.
+func SumRows(a *Tensor) *Tensor {
+	a.mustMatrix()
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(1, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to
+// each row of a matrix.
+func SoftmaxRows(a *Tensor) *Tensor {
+	a.mustMatrix()
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			z += e
+		}
+		if z == 0 {
+			z = 1
+		}
+		for j := range orow {
+			orow[j] /= z
+		}
+	}
+	return out
+}
+
+// Equal reports whether two tensors have identical shape and all
+// elements within eps of each other.
+func Equal(a, b *Tensor, eps float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	if len(t.Shape) == 2 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "Tensor[%dx%d]", t.Shape[0], t.Shape[1])
+		if t.Size() <= 64 {
+			b.WriteString("{")
+			for i := 0; i < t.Shape[0]; i++ {
+				if i > 0 {
+					b.WriteString("; ")
+				}
+				for j := 0; j < t.Shape[1]; j++ {
+					if j > 0 {
+						b.WriteString(" ")
+					}
+					fmt.Fprintf(&b, "%.4g", t.At(i, j))
+				}
+			}
+			b.WriteString("}")
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("Tensor%v(%d elems)", t.Shape, t.Size())
+}
+
+// HasNaN reports whether any element is NaN or Inf. Training loops use
+// this as a cheap sanity guard.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

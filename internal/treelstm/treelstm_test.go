@@ -1,0 +1,102 @@
+package treelstm
+
+import (
+	"math"
+	"testing"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/metrics"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
+)
+
+func setup(t *testing.T, seed int64, n int) (*Model, []*workload.LabeledQuery, *sqldb.DB) {
+	t.Helper()
+	db := datagen.SyntheticIMDB(9, 0.05)
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	m := New(db, cfg, seed)
+	gen := workload.NewGenerator(db, seed+1)
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 4
+	wcfg.WithOptimal = false
+	return m, gen.Generate(n, wcfg), db
+}
+
+func TestPredictShapesAndValidity(t *testing.T) {
+	m, qs, _ := setup(t, 1, 3)
+	for _, lq := range qs {
+		cards, costs := m.Predict(lq)
+		n := len(lq.Plan.Nodes())
+		if len(cards) != n || len(costs) != n {
+			t.Fatalf("prediction lengths %d/%d, want %d", len(cards), len(costs), n)
+		}
+		for i := range cards {
+			if cards[i] < 1 || math.IsNaN(cards[i]) || costs[i] < 1 {
+				t.Fatalf("invalid prediction card=%g cost=%g", cards[i], costs[i])
+			}
+		}
+	}
+}
+
+func TestNodeFeatureContents(t *testing.T) {
+	m, qs, db := setup(t, 2, 1)
+	lq := qs[0]
+	for _, n := range lq.Plan.Nodes() {
+		f := m.nodeFeature(lq.Q, n)
+		if f.Cols() != m.Cfg.featWidth() {
+			t.Fatal("feature width wrong")
+		}
+		// Table multi-hot count matches the node's tables.
+		count := 0.0
+		for i := 0; i < m.Cfg.MaxTables; i++ {
+			count += f.Data[i]
+		}
+		if int(count) != len(n.Tables()) {
+			t.Fatalf("table multi-hot %v, want %d", count, len(n.Tables()))
+		}
+		if n.IsLeaf() {
+			rows := float64(db.Table(n.Table).NumRows())
+			logRows := f.Data[m.Cfg.MaxTables+6+3]
+			if math.Abs(logRows-math.Log(rows+1)/20) > 1e-9 {
+				t.Fatal("log table size feature wrong")
+			}
+		}
+	}
+}
+
+func TestTrainImprovesCardEstimates(t *testing.T) {
+	m, qs, _ := setup(t, 3, 40)
+	train, _, test := workload.Split(qs, 0.75, 0)
+	// Evaluate mean q-error over all node costs: costs are large, so an
+	// untrained model (predicting ~1) starts far off and training has
+	// unambiguous room to improve.
+	eval := func() float64 {
+		var errs []float64
+		for _, lq := range test {
+			cards, costs := m.Predict(lq)
+			for i := range cards {
+				errs = append(errs, metrics.QError(cards[i], lq.NodeCards[i]))
+				errs = append(errs, metrics.QError(costs[i], lq.NodeCosts[i]))
+			}
+		}
+		return metrics.Summarize(errs).Mean
+	}
+	before := eval()
+	st := m.Train(train, 6, 4)
+	if st.Steps != 6*len(train) {
+		t.Fatalf("steps %d", st.Steps)
+	}
+	after := eval()
+	if after >= before {
+		t.Fatalf("training did not improve: %g -> %g", before, after)
+	}
+}
+
+func TestParamsNonEmpty(t *testing.T) {
+	m, _, _ := setup(t, 5, 1)
+	// 8 linear layers (W+b each) plus two 2-layer MLPs (2 linears each).
+	if len(m.Params()) != 8*2+2*4 {
+		t.Fatalf("param group count %d", len(m.Params()))
+	}
+}
