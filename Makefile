@@ -1,0 +1,41 @@
+# Single source of truth for the commands CI runs — run the same
+# targets locally before pushing.
+
+GO ?= go
+RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen
+
+.PHONY: all build vet fmt-check test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent packages: kernels, autodiff gradient
+# sinks, data-parallel training, experiment fan-out. GOMAXPROCS is
+# pinned above 1 so the worker pool actually fans out (on a 1-CPU
+# machine the pool defaults to size 1 and every path runs inline,
+# which would make this job vacuous).
+race:
+	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
+
+# Full benchmark sweep (slow; regenerates every paper table).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Quick kernel benchmark: serial vs parallel matmul at 64/256/512.
+bench-smoke:
+	$(GO) test -run=NONE -bench='MatMul' -benchtime=1x .
+
+ci: build vet fmt-check test race bench-smoke

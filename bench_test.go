@@ -244,7 +244,8 @@ func BenchmarkMLAShuffling(b *testing.B) {
 // Substrate micro-benchmarks
 // ---------------------------------------------------------------------------
 
-// BenchmarkMatMul64 times the hot tensor kernel at transformer scale.
+// BenchmarkMatMul64 times the hot tensor kernel at transformer scale
+// (below the parallel threshold: this is the serial fast path).
 func BenchmarkMatMul64(b *testing.B) {
 	rng := randpkg.New(randpkg.NewSource(1))
 	x := tensor.Rand(rng, 64, 64, 1)
@@ -252,6 +253,79 @@ func BenchmarkMatMul64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tensor.MatMul(x, y)
+	}
+}
+
+// benchMatMulN compares the serial and worker-pool kernels at one
+// square size; the two must produce bitwise-equal outputs (asserted
+// in internal/tensor tests), so this measures pure speedup.
+func benchMatMulN(b *testing.B, n int) {
+	rng := randpkg.New(randpkg.NewSource(1))
+	x := tensor.Rand(rng, n, n, 1)
+	y := tensor.Rand(rng, n, n, 1)
+	b.Run("serial", func(b *testing.B) {
+		defer tensor.SetParallelism(tensor.SetParallelism(1))
+		for i := 0; i < b.N; i++ {
+			_ = tensor.MatMul(x, y)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		defer tensor.SetParallelism(tensor.SetParallelism(0))
+		for i := 0; i < b.N; i++ {
+			_ = tensor.MatMul(x, y)
+		}
+	})
+}
+
+// BenchmarkMatMul256 is the headline multi-core kernel benchmark:
+// 256x256x256 is large enough for row-sharding to pay for itself.
+func BenchmarkMatMul256(b *testing.B) { benchMatMulN(b, 256) }
+
+// BenchmarkMatMul512 shows kernel scaling one size up.
+func BenchmarkMatMul512(b *testing.B) { benchMatMulN(b, 512) }
+
+// BenchmarkMatMulBatchHeads times the fused per-head products the
+// attention layers issue: many small matmuls in one pool dispatch.
+func BenchmarkMatMulBatchHeads(b *testing.B) {
+	rng := randpkg.New(randpkg.NewSource(1))
+	const heads = 8
+	var as, bs []*tensor.Tensor
+	for h := 0; h < heads; h++ {
+		as = append(as, tensor.Rand(rng, 64, 32, 1))
+		bs = append(bs, tensor.Rand(rng, 32, 64, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulBatch(as, bs)
+	}
+}
+
+// BenchmarkTrainJointStep times one data-parallel minibatch step
+// (forward+backward on every example plus the ordered reduction and
+// Adam update) at 1 worker vs the full pool.
+func BenchmarkTrainJointStep(b *testing.B) {
+	db := datagen.SyntheticIMDB(1, 0.05)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	gen := workload.NewGenerator(db, 2)
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 4
+	qs := gen.Generate(8, wcfg)
+	for _, workers := range []int{1, 0} {
+		name := "workers=all"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := mtmlf.NewModel(cfg, db, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.TrainJoint(qs, mtmlf.TrainOptions{
+					Epochs: 1, Seed: 3, BatchSize: len(qs), Workers: workers,
+				})
+			}
+		})
 	}
 }
 

@@ -3,6 +3,11 @@
 // Usage:
 //
 //	mtmlf-bench -exp table1|table2|table3|all [-scale quick|full] [-seed N]
+//	            [-workers 0]
+//
+// -workers sizes the shared worker pool (0 = all cores): independent
+// trials within each table, fleet generation, and the tensor kernels
+// all run on it.
 //
 // At -scale quick each table finishes in seconds; -scale full runs a
 // larger protocol (minutes). Absolute numbers depend on the synthetic
@@ -18,13 +23,16 @@ import (
 	"time"
 
 	"mtmlf/internal/experiments"
+	"mtmlf/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, or all")
 	scale := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
 	flag.Parse()
+	tensor.SetParallelism(*workers)
 
 	var cfg experiments.Config
 	switch *scale {

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	mtmlf-datagen [-n 11] [-seed 1] [-minrows 200] [-maxrows 1500]
+//	              [-workers 0]
+//
+// -workers sizes the worker pool that generates databases
+// concurrently (0 = all cores); the fleet is identical at any size.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 
 	"mtmlf/internal/datagen"
+	"mtmlf/internal/tensor"
 )
 
 func main() {
@@ -19,7 +24,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	minRows := flag.Int("minrows", 0, "override minimum rows per table")
 	maxRows := flag.Int("maxrows", 0, "override maximum rows per table")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
 	flag.Parse()
+	tensor.SetParallelism(*workers)
 
 	cfg := datagen.DefaultConfig()
 	if *minRows > 0 {

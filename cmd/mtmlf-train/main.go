@@ -7,6 +7,12 @@
 //
 //	mtmlf-train [-queries 200] [-epochs 6] [-scale 0.06] [-seed 1]
 //	            [-save shared.gob] [-load shared.gob] [-seqloss]
+//	            [-workers 0] [-batch 1]
+//
+// -workers sizes the shared worker pool (0 = all cores) used by the
+// tensor kernels and the data-parallel training loop; -batch sets the
+// minibatch size (examples per Adam step). The training trajectory
+// depends on -batch but is bitwise identical for every -workers.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/nn"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
@@ -31,11 +38,14 @@ func main() {
 	savePath := flag.String("save", "", "save trained (S)+(T) parameters to this file")
 	loadPath := flag.String("load", "", "load pre-trained (S)+(T) parameters before training")
 	seqLoss := flag.Bool("seqloss", false, "use the Equation 3 sequence-level join-order loss")
+	workers := flag.Int("workers", 0, "worker pool size for kernels and data-parallel training (0 = all cores)")
+	batch := flag.Int("batch", 1, "minibatch size (examples averaged per Adam step)")
 	flag.Parse()
 
+	tensor.SetParallelism(*workers)
 	start := time.Now()
 	db := datagen.SyntheticIMDB(*seed, *scale)
-	fmt.Printf("database: %d tables, %d join edges\n", len(db.Tables), len(db.Edges))
+	fmt.Printf("database: %d tables, %d join edges (%d workers)\n", len(db.Tables), len(db.Edges), tensor.Parallelism())
 
 	model := mtmlf.NewModel(mtmlf.DefaultConfig(), db, *seed)
 	if *loadPath != "" {
@@ -60,7 +70,9 @@ func main() {
 	train, _, test := workload.Split(all, 0.85, 0.05)
 
 	fmt.Printf("joint training (%d epochs, seq-level loss: %v)...\n", *epochs, *seqLoss)
-	st := model.TrainJoint(train, mtmlf.TrainOptions{Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss})
+	st := model.TrainJoint(train, mtmlf.TrainOptions{
+		Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss, BatchSize: *batch,
+	})
 	fmt.Printf("trained %d steps, final running loss %.3f\n", st.Steps, st.FinalLoss)
 
 	// Evaluate.

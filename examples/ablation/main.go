@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"mtmlf/internal/cost"
@@ -13,10 +14,15 @@ import (
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	flag.Parse()
+	tensor.SetParallelism(*workers)
+
 	db := datagen.SyntheticIMDB(13, 0.05)
 	gen := workload.NewGenerator(db, 14)
 	wcfg := workload.DefaultConfig()

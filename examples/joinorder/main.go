@@ -5,16 +5,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/plan"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	flag.Parse()
+	tensor.SetParallelism(*workers)
+
 	// --- Figure 3: the paper's two example plan trees -------------------
 	leftDeep := plan.NewJoin(plan.HashJoin,
 		plan.NewJoin(plan.HashJoin,

@@ -6,16 +6,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	flag.Parse()
+	tensor.SetParallelism(*workers)
+
 	// (I.i) Data tables: a scaled-down synthetic IMDB (21 tables).
 	db := datagen.SyntheticIMDB(7, 0.05)
 	fmt.Printf("database %q: %d tables, %d PK-FK edges\n\n", db.Name, len(db.Tables), len(db.Edges))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"mtmlf/internal/cost"
@@ -15,10 +16,15 @@ import (
 	"mtmlf/internal/optimizer"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/stats"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	flag.Parse()
+	tensor.SetParallelism(*workers)
+
 	// Provider side: generate a training fleet with the Section 6.2
 	// pipeline and meta-train the shared modules.
 	dgCfg := datagen.DefaultConfig()

@@ -1,0 +1,3 @@
+module mtmlf
+
+go 1.24

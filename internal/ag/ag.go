@@ -26,7 +26,7 @@ type Value struct {
 
 	op       string
 	parents  []*Value
-	backward func()
+	backward func(*backCtx)
 	needGrad bool
 }
 
@@ -71,9 +71,65 @@ func (v *Value) accumGrad(g *tensor.Tensor) {
 	v.Grad.AddInPlace(g)
 }
 
+// backCtx threads the gradient destination through one backward pass.
+// With a nil sink every gradient lands on the node's own Grad field
+// (the classic behavior). With a sink, gradients for LEAF parameters
+// are accumulated into the sink instead, leaving the shared Param
+// nodes untouched — the plumbing that lets data-parallel workers run
+// backward passes over shared parameters concurrently, each into a
+// private buffer. Interior nodes always use their own Grad field:
+// they belong to exactly one graph, so they are private to the worker
+// that built them.
+type backCtx struct {
+	sink Grads
+}
+
+// accum routes gradient g for node n according to the context.
+func (c *backCtx) accum(n *Value, g *tensor.Tensor) {
+	if !n.needGrad {
+		return
+	}
+	if c.sink != nil && n.backward == nil {
+		c.sink.add(n, g)
+		return
+	}
+	n.accumGrad(g)
+}
+
+// Grads is a per-worker gradient buffer: parameter node → accumulated
+// gradient. Buffers from concurrent backward passes are combined with
+// ReduceGrads.
+type Grads map[*Value]*tensor.Tensor
+
+func (gr Grads) add(p *Value, g *tensor.Tensor) {
+	buf := gr[p]
+	if buf == nil {
+		buf = tensor.New(p.T.Shape...)
+		gr[p] = buf
+	}
+	buf.AddInPlace(g)
+}
+
 // Backward computes gradients of v (which must be a 1x1 scalar) with
-// respect to every upstream Param.
+// respect to every upstream Param, accumulating them on the Params'
+// Grad fields.
 func (v *Value) Backward() {
+	v.backwardCtx(&backCtx{})
+}
+
+// BackwardInto runs the backward pass with every leaf-parameter
+// gradient accumulated into sink instead of the parameters' shared
+// Grad fields. Concurrent BackwardInto calls over graphs that share
+// parameters are race-free as long as each call gets its own sink;
+// combine the sinks afterwards with ReduceGrads.
+func (v *Value) BackwardInto(sink Grads) {
+	if sink == nil {
+		panic("ag: BackwardInto needs a non-nil sink")
+	}
+	v.backwardCtx(&backCtx{sink: sink})
+}
+
+func (v *Value) backwardCtx(ctx *backCtx) {
 	if v.T.Size() != 1 {
 		panic(fmt.Sprintf("ag: Backward on non-scalar shape %v", v.T.Shape))
 	}
@@ -82,7 +138,40 @@ func (v *Value) Backward() {
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.backward != nil && n.Grad != nil {
-			n.backward()
+			n.backward(ctx)
+		}
+	}
+}
+
+// ReduceGrads combines per-worker (or per-example) gradient buffers
+// into the parameters' Grad fields: for each parameter, the buffers
+// are summed in slot order and scaled by scale. The reduction order
+// depends only on the slot order — never on which goroutine produced
+// which slot — so a minibatch gradient is bitwise reproducible for any
+// worker count. Parameters no slot touched keep a nil Grad.
+func ReduceGrads(params []*Value, slots []Grads, scale float64) {
+	for _, p := range params {
+		var acc *tensor.Tensor
+		for _, s := range slots {
+			g := s[p]
+			if g == nil {
+				continue
+			}
+			if acc == nil {
+				acc = tensor.New(p.T.Shape...)
+			}
+			acc.AddInPlace(g)
+		}
+		if acc == nil {
+			continue
+		}
+		if scale != 1 {
+			acc.ScaleInPlace(scale)
+		}
+		if p.Grad == nil {
+			p.Grad = acc
+		} else {
+			p.Grad.AddInPlace(acc)
 		}
 	}
 }
@@ -112,9 +201,9 @@ func topoSort(root *Value) []*Value {
 // Add returns a + b (same shape).
 func Add(a, b *Value) *Value {
 	out := newNode("add", tensor.Add(a.T, b.T), a, b)
-	out.backward = func() {
-		a.accumGrad(out.Grad)
-		b.accumGrad(out.Grad)
+	out.backward = func(ctx *backCtx) {
+		ctx.accum(a, out.Grad)
+		ctx.accum(b, out.Grad)
 	}
 	return out
 }
@@ -122,10 +211,10 @@ func Add(a, b *Value) *Value {
 // Sub returns a - b (same shape).
 func Sub(a, b *Value) *Value {
 	out := newNode("sub", tensor.Sub(a.T, b.T), a, b)
-	out.backward = func() {
-		a.accumGrad(out.Grad)
+	out.backward = func(ctx *backCtx) {
+		ctx.accum(a, out.Grad)
 		if b.needGrad {
-			b.accumGrad(tensor.Scale(out.Grad, -1))
+			ctx.accum(b, tensor.Scale(out.Grad, -1))
 		}
 	}
 	return out
@@ -134,12 +223,12 @@ func Sub(a, b *Value) *Value {
 // Mul returns the elementwise product a ⊙ b.
 func Mul(a, b *Value) *Value {
 	out := newNode("mul", tensor.Mul(a.T, b.T), a, b)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if a.needGrad {
-			a.accumGrad(tensor.Mul(out.Grad, b.T))
+			ctx.accum(a, tensor.Mul(out.Grad, b.T))
 		}
 		if b.needGrad {
-			b.accumGrad(tensor.Mul(out.Grad, a.T))
+			ctx.accum(b, tensor.Mul(out.Grad, a.T))
 		}
 	}
 	return out
@@ -148,8 +237,8 @@ func Mul(a, b *Value) *Value {
 // Scale returns s * a for scalar constant s.
 func Scale(a *Value, s float64) *Value {
 	out := newNode("scale", tensor.Scale(a.T, s), a)
-	out.backward = func() {
-		a.accumGrad(tensor.Scale(out.Grad, s))
+	out.backward = func(ctx *backCtx) {
+		ctx.accum(a, tensor.Scale(out.Grad, s))
 	}
 	return out
 }
@@ -169,10 +258,10 @@ func AddBias(a, bias *Value) *Value {
 		}
 	}
 	out := newNode("addbias", t, a, bias)
-	out.backward = func() {
-		a.accumGrad(out.Grad)
+	out.backward = func(ctx *backCtx) {
+		ctx.accum(a, out.Grad)
 		if bias.needGrad {
-			bias.accumGrad(tensor.SumRows(out.Grad))
+			ctx.accum(bias, tensor.SumRows(out.Grad))
 		}
 	}
 	return out
@@ -181,12 +270,12 @@ func AddBias(a, bias *Value) *Value {
 // MatMul returns a @ b.
 func MatMul(a, b *Value) *Value {
 	out := newNode("matmul", tensor.MatMul(a.T, b.T), a, b)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if a.needGrad {
-			a.accumGrad(tensor.MatMulTransB(out.Grad, b.T))
+			ctx.accum(a, tensor.MatMulTransB(out.Grad, b.T))
 		}
 		if b.needGrad {
-			b.accumGrad(tensor.MatMulTransA(a.T, out.Grad))
+			ctx.accum(b, tensor.MatMulTransA(a.T, out.Grad))
 		}
 	}
 	return out
@@ -195,12 +284,12 @@ func MatMul(a, b *Value) *Value {
 // MatMulTransB returns a @ b^T without materializing the transpose.
 func MatMulTransB(a, b *Value) *Value {
 	out := newNode("matmulTB", tensor.MatMulTransB(a.T, b.T), a, b)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if a.needGrad {
-			a.accumGrad(tensor.MatMul(out.Grad, b.T))
+			ctx.accum(a, tensor.MatMul(out.Grad, b.T))
 		}
 		if b.needGrad {
-			b.accumGrad(tensor.MatMulTransA(out.Grad, a.T))
+			ctx.accum(b, tensor.MatMulTransA(out.Grad, a.T))
 		}
 	}
 	return out
@@ -209,8 +298,8 @@ func MatMulTransB(a, b *Value) *Value {
 // Transpose returns a^T.
 func Transpose(a *Value) *Value {
 	out := newNode("transpose", tensor.Transpose(a.T), a)
-	out.backward = func() {
-		a.accumGrad(tensor.Transpose(out.Grad))
+	out.backward = func(ctx *backCtx) {
+		ctx.accum(a, tensor.Transpose(out.Grad))
 	}
 	return out
 }
@@ -225,7 +314,7 @@ func unary(op string, a *Value, f func(float64) float64, df func(x, y float64) f
 		t.Data[i] = f(x)
 	}
 	out := newNode(op, t, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
@@ -233,7 +322,7 @@ func unary(op string, a *Value, f func(float64) float64, df func(x, y float64) f
 		for i := range g.Data {
 			g.Data[i] = out.Grad.Data[i] * df(a.T.Data[i], t.Data[i])
 		}
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -314,7 +403,7 @@ func Abs(a *Value) *Value {
 func SoftmaxRows(a *Value) *Value {
 	y := tensor.SoftmaxRows(a.T)
 	out := newNode("softmax", y, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
@@ -332,7 +421,7 @@ func SoftmaxRows(a *Value) *Value {
 				orow[j] = yr[j] * (gr[j] - dot)
 			}
 		}
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -360,7 +449,7 @@ func LogSoftmaxRows(a *Value) *Value {
 		}
 	}
 	out := newNode("logsoftmax", y, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
@@ -377,7 +466,7 @@ func LogSoftmaxRows(a *Value) *Value {
 				orow[j] = gr[j] - math.Exp(yr[j])*sum
 			}
 		}
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -415,7 +504,7 @@ func LayerNormRows(a, gamma, beta *Value, eps float64) *Value {
 		}
 	}
 	out := newNode("layernorm", y, a, gamma, beta)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if gamma.needGrad {
 			gg := tensor.New(1, n)
 			for i := 0; i < m; i++ {
@@ -425,10 +514,10 @@ func LayerNormRows(a, gamma, beta *Value, eps float64) *Value {
 					gg.Data[j] += gr[j] * xr[j]
 				}
 			}
-			gamma.accumGrad(gg)
+			ctx.accum(gamma, gg)
 		}
 		if beta.needGrad {
-			beta.accumGrad(tensor.SumRows(out.Grad))
+			ctx.accum(beta, tensor.SumRows(out.Grad))
 		}
 		if a.needGrad {
 			g := tensor.New(m, n)
@@ -449,7 +538,7 @@ func LayerNormRows(a, gamma, beta *Value, eps float64) *Value {
 					orow[j] = invstd[i] / fn * (fn*dx[j] - sumDx - xr[j]*sumDxX)
 				}
 			}
-			a.accumGrad(g)
+			ctx.accum(a, g)
 		}
 	}
 	return out
@@ -479,14 +568,14 @@ func ConcatRows(vs ...*Value) *Value {
 		r += v.T.Rows()
 	}
 	out := newNode("concatrows", t, vs...)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		r := 0
 		for _, v := range vs {
 			h := v.T.Rows()
 			if v.needGrad {
 				g := tensor.New(h, n)
 				copy(g.Data, out.Grad.Data[r*n:(r+h)*n])
-				v.accumGrad(g)
+				ctx.accum(v, g)
 			}
 			r += h
 		}
@@ -517,7 +606,7 @@ func ConcatCols(vs ...*Value) *Value {
 		off += c
 	}
 	out := newNode("concatcols", t, vs...)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		off := 0
 		for _, v := range vs {
 			c := v.T.Cols()
@@ -526,7 +615,7 @@ func ConcatCols(vs ...*Value) *Value {
 				for i := 0; i < m; i++ {
 					copy(g.Row(i), out.Grad.Row(i)[off:off+c])
 				}
-				v.accumGrad(g)
+				ctx.accum(v, g)
 			}
 			off += c
 		}
@@ -543,13 +632,13 @@ func SliceRows(a *Value, from, to int) *Value {
 	t := tensor.New(to-from, n)
 	copy(t.Data, a.T.Data[from*n:to*n])
 	out := newNode("slicerows", t, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
 		g := tensor.New(m, n)
 		copy(g.Data[from*n:to*n], out.Grad.Data)
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -566,7 +655,7 @@ func SliceCols(a *Value, from, to int) *Value {
 		copy(t.Row(i), a.T.Row(i)[from:to])
 	}
 	out := newNode("slicecols", t, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
@@ -574,7 +663,7 @@ func SliceCols(a *Value, from, to int) *Value {
 		for i := 0; i < m; i++ {
 			copy(g.Row(i)[from:to], out.Grad.Row(i))
 		}
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -589,7 +678,7 @@ func Gather(w *Value, idx []int) *Value {
 	}
 	ids := append([]int(nil), idx...)
 	out := newNode("gather", t, w)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !w.needGrad {
 			return
 		}
@@ -601,7 +690,7 @@ func Gather(w *Value, idx []int) *Value {
 				grow[j] += orow[j]
 			}
 		}
-		w.accumGrad(g)
+		ctx.accum(w, g)
 	}
 	return out
 }
@@ -612,7 +701,7 @@ func MeanRows(a *Value) *Value {
 	s := tensor.SumRows(a.T)
 	s.ScaleInPlace(1 / float64(m))
 	out := newNode("meanrows", s, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
@@ -625,7 +714,7 @@ func MeanRows(a *Value) *Value {
 				row[j] = out.Grad.Data[j] * inv
 			}
 		}
-		a.accumGrad(g)
+		ctx.accum(a, g)
 	}
 	return out
 }
@@ -638,11 +727,11 @@ func MeanRows(a *Value) *Value {
 func SumAll(a *Value) *Value {
 	t := tensor.FromSlice([]float64{tensor.SumAll(a.T)}, 1, 1)
 	out := newNode("sumall", t, a)
-	out.backward = func() {
+	out.backward = func(ctx *backCtx) {
 		if !a.needGrad {
 			return
 		}
-		a.accumGrad(tensor.Full(out.Grad.Data[0], a.T.Shape...))
+		ctx.accum(a, tensor.Full(out.Grad.Data[0], a.T.Shape...))
 	}
 	return out
 }

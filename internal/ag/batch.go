@@ -1,0 +1,71 @@
+// Batched linear-algebra ops: many independent products computed in
+// one fan-out over the worker pool. The nn attention layers use these
+// to fuse their per-head projections — each head's product is far too
+// small to shard internally, but the batch as a whole parallelizes.
+package ag
+
+import (
+	"fmt"
+
+	"mtmlf/internal/tensor"
+)
+
+// MatMulBatch returns nodes for as[i] @ bs[i], computing every forward
+// product in one parallel batch. Each returned node carries the same
+// backward rule as MatMul, so gradients are identical to the unbatched
+// form.
+func MatMulBatch(as, bs []*Value) []*Value {
+	if len(as) != len(bs) {
+		panic(fmt.Sprintf("ag: MatMulBatch length mismatch %d vs %d", len(as), len(bs)))
+	}
+	at := make([]*tensor.Tensor, len(as))
+	bt := make([]*tensor.Tensor, len(bs))
+	for i := range as {
+		at[i], bt[i] = as[i].T, bs[i].T
+	}
+	outs := tensor.MatMulBatch(at, bt)
+	nodes := make([]*Value, len(as))
+	for i := range as {
+		a, b := as[i], bs[i]
+		out := newNode("matmul", outs[i], a, b)
+		out.backward = func(ctx *backCtx) {
+			if a.needGrad {
+				ctx.accum(a, tensor.MatMulTransB(out.Grad, b.T))
+			}
+			if b.needGrad {
+				ctx.accum(b, tensor.MatMulTransA(a.T, out.Grad))
+			}
+		}
+		nodes[i] = out
+	}
+	return nodes
+}
+
+// MatMulTransBBatch returns nodes for as[i] @ bs[i]^T computed in one
+// parallel batch; gradients match MatMulTransB.
+func MatMulTransBBatch(as, bs []*Value) []*Value {
+	if len(as) != len(bs) {
+		panic(fmt.Sprintf("ag: MatMulTransBBatch length mismatch %d vs %d", len(as), len(bs)))
+	}
+	at := make([]*tensor.Tensor, len(as))
+	bt := make([]*tensor.Tensor, len(bs))
+	for i := range as {
+		at[i], bt[i] = as[i].T, bs[i].T
+	}
+	outs := tensor.MatMulTransBBatch(at, bt)
+	nodes := make([]*Value, len(as))
+	for i := range as {
+		a, b := as[i], bs[i]
+		out := newNode("matmulTB", outs[i], a, b)
+		out.backward = func(ctx *backCtx) {
+			if a.needGrad {
+				ctx.accum(a, tensor.MatMul(out.Grad, b.T))
+			}
+			if b.needGrad {
+				ctx.accum(b, tensor.MatMulTransA(out.Grad, a.T))
+			}
+		}
+		nodes[i] = out
+	}
+	return nodes
+}

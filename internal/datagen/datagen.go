@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mtmlf/internal/parallel"
 	"mtmlf/internal/sqldb"
 )
 
@@ -286,12 +287,16 @@ func BootstrapTable(rng *rand.Rand, src *sqldb.Table, name string, rows int) *sq
 }
 
 // GenerateFleet produces n databases with distinct seeds, the input of
-// the paper's Section 6.3 experiment ({D1, ..., D11}).
+// the paper's Section 6.3 experiment ({D1, ..., D11}). Databases are
+// generated concurrently on the worker pool; each draws from its own
+// seed-derived rng, so the fleet is identical at any parallelism.
 func GenerateFleet(seed int64, n int, cfg Config) []*sqldb.DB {
 	out := make([]*sqldb.DB, n)
-	for i := 0; i < n; i++ {
-		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-		out[i] = GenerateDB(rng, fmt.Sprintf("D%d", i+1), cfg)
-	}
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			out[i] = GenerateDB(rng, fmt.Sprintf("D%d", i+1), cfg)
+		}
+	})
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
 )
 
 func TestGenerateDBStructure(t *testing.T) {
@@ -202,6 +203,47 @@ func TestSyntheticIMDBDeterministic(t *testing.T) {
 	for i := 0; i < ta.NumRows(); i++ {
 		if ta.Column("title").Strs[i] != tb.Column("title").Strs[i] {
 			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+}
+
+// TestGenerateFleetParallelismInvariant checks the concurrently
+// generated fleet is identical at every worker-pool size: each DB
+// draws from its own seed-derived rng, so scheduling cannot leak in.
+func TestGenerateFleetParallelismInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 5
+	cfg.MinRows, cfg.MaxRows = 50, 120
+	prev := tensor.SetParallelism(1)
+	serial := GenerateFleet(9, 3, cfg)
+	tensor.SetParallelism(8)
+	par := GenerateFleet(9, 3, cfg)
+	tensor.SetParallelism(prev)
+	for i := range serial {
+		a, b := serial[i], par[i]
+		if a.Name != b.Name || len(a.Tables) != len(b.Tables) {
+			t.Fatalf("fleet DB %d differs structurally", i)
+		}
+		for ti, at := range a.Tables {
+			bt := b.Tables[ti]
+			if at.Name != bt.Name || at.NumRows() != bt.NumRows() {
+				t.Fatalf("DB %d table %d differs", i, ti)
+			}
+			for ci, ac := range at.Columns {
+				bc := bt.Columns[ci]
+				for r := 0; r < at.NumRows(); r++ {
+					switch ac.Kind {
+					case sqldb.KindInt:
+						if ac.Ints[r] != bc.Ints[r] {
+							t.Fatalf("DB %d %s.%s row %d differs", i, at.Name, ac.Name, r)
+						}
+					case sqldb.KindString:
+						if ac.Strs[r] != bc.Strs[r] {
+							t.Fatalf("DB %d %s.%s row %d differs", i, at.Name, ac.Name, r)
+						}
+					}
+				}
+			}
 		}
 	}
 }

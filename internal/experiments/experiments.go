@@ -15,6 +15,7 @@ import (
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/optimizer"
+	"mtmlf/internal/parallel"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/stats"
 	"mtmlf/internal/treelstm"
@@ -111,11 +112,15 @@ func FullConfig() Config {
 }
 
 // trainedModel builds, pre-trains and jointly trains one MTMLF model
-// variant on a labeled workload.
-func trainedModel(cfg Config, db *sqldb.DB, gen *workload.Generator, train []*workload.LabeledQuery, wCard, wCost, wJo float64, seed int64) *mtmlf.Model {
+// variant on a labeled workload. Each variant draws its encoder
+// pre-training queries from a private generator derived from seed, so
+// independent variants share no mutable state and can train
+// concurrently on the worker pool with deterministic results.
+func trainedModel(cfg Config, db *sqldb.DB, train []*workload.LabeledQuery, wCard, wCost, wJo float64, seed int64) *mtmlf.Model {
 	mc := cfg.Model
 	mc.WCard, mc.WCost, mc.WJo = wCard, wCost, wJo
 	m := mtmlf.NewModel(mc, db, seed)
+	gen := workload.NewGenerator(db, seed+1000)
 	m.Feat.PretrainAll(gen, cfg.EncoderQueries, cfg.EncoderEpochs, cfg.Workload)
 	m.TrainJoint(train, mtmlf.TrainOptions{Epochs: cfg.Epochs, Seed: seed + 1, SeqLevelLoss: cfg.SeqLevelLoss})
 	return m
@@ -166,46 +171,55 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 		return out
 	}
 
-	// PostgreSQL baseline: per-node estimated cards via the histogram
-	// model; per-node costs via the cost model over those estimates.
+	// The five methods are independent trials — separate models,
+	// separate seeds, read-only shared data — so they train (and the
+	// closed-form baselines evaluate) concurrently on the worker pool.
 	var pgCard, pgCost []float64
-	for _, lq := range test {
-		estCard := func(tables []string) float64 { return st.EstimateSubplanCard(tables, lq.Q) }
-		rows := func(name string) float64 { return float64(db.Table(name).NumRows()) }
-		_, nodeCards, nodeCosts := cm.PlanCost(lq.Plan, rows, estCard)
-		joins := isJoinNode(lq)
-		for i := range nodeCards {
-			if !joins[i] {
-				continue
-			}
-			pgCard = append(pgCard, metrics.QError(nodeCards[i], lq.NodeCards[i]))
-			pgCost = append(pgCost, metrics.QError(nodeCosts[i], lq.NodeCosts[i]))
-		}
-	}
-
-	// Tree-LSTM baseline (same loss, same data).
-	tlCfg := treelstm.DefaultConfig()
-	tlCfg.Dim = cfg.Model.Dim
-	tlCfg.MaxTables = cfg.Model.MaxTables
-	tl := treelstm.New(db, tlCfg, cfg.Seed+5)
-	tl.Train(train, cfg.Epochs, cfg.Seed+6)
 	var tlCard, tlCost []float64
-	for _, lq := range test {
-		cards, costs := tl.Predict(lq)
-		joins := isJoinNode(lq)
-		for i := range cards {
-			if !joins[i] {
-				continue
+	var joint, cardOnly, costOnly *mtmlf.Model
+	parallel.Do(
+		func() {
+			// PostgreSQL baseline: per-node estimated cards via the
+			// histogram model; per-node costs via the cost model over
+			// those estimates.
+			for _, lq := range test {
+				estCard := func(tables []string) float64 { return st.EstimateSubplanCard(tables, lq.Q) }
+				rows := func(name string) float64 { return float64(db.Table(name).NumRows()) }
+				_, nodeCards, nodeCosts := cm.PlanCost(lq.Plan, rows, estCard)
+				joins := isJoinNode(lq)
+				for i := range nodeCards {
+					if !joins[i] {
+						continue
+					}
+					pgCard = append(pgCard, metrics.QError(nodeCards[i], lq.NodeCards[i]))
+					pgCost = append(pgCost, metrics.QError(nodeCosts[i], lq.NodeCosts[i]))
+				}
 			}
-			tlCard = append(tlCard, metrics.QError(cards[i], lq.NodeCards[i]))
-			tlCost = append(tlCost, metrics.QError(costs[i], lq.NodeCosts[i]))
-		}
-	}
-
-	// MTMLF-QO (joint) and the single-task ablations.
-	joint := trainedModel(cfg, db, gen, train, 1, 1, 1, cfg.Seed+10)
-	cardOnly := trainedModel(cfg, db, gen, train, 1, 0, 0, cfg.Seed+20)
-	costOnly := trainedModel(cfg, db, gen, train, 0, 1, 0, cfg.Seed+30)
+		},
+		func() {
+			// Tree-LSTM baseline (same loss, same data).
+			tlCfg := treelstm.DefaultConfig()
+			tlCfg.Dim = cfg.Model.Dim
+			tlCfg.MaxTables = cfg.Model.MaxTables
+			tl := treelstm.New(db, tlCfg, cfg.Seed+5)
+			tl.Train(train, cfg.Epochs, cfg.Seed+6)
+			for _, lq := range test {
+				cards, costs := tl.Predict(lq)
+				joins := isJoinNode(lq)
+				for i := range cards {
+					if !joins[i] {
+						continue
+					}
+					tlCard = append(tlCard, metrics.QError(cards[i], lq.NodeCards[i]))
+					tlCost = append(tlCost, metrics.QError(costs[i], lq.NodeCosts[i]))
+				}
+			}
+		},
+		// MTMLF-QO (joint) and the single-task ablations.
+		func() { joint = trainedModel(cfg, db, train, 1, 1, 1, cfg.Seed+10) },
+		func() { cardOnly = trainedModel(cfg, db, train, 1, 0, 0, cfg.Seed+20) },
+		func() { costOnly = trainedModel(cfg, db, train, 0, 1, 0, cfg.Seed+30) },
+	)
 
 	evalModel := func(m *mtmlf.Model) (cq, coq []float64) {
 		for _, lq := range test {
@@ -314,9 +328,15 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 	// of queries, so we hold out 20% to keep the comparison stable.
 	train, _, test := workload.Split(all, 0.75, 0.05)
 
-	joint := trainedModel(cfg, db, gen, train, 1, 1, 1, cfg.Seed+40)
-	joOnly := trainedModel(cfg, db, gen, train, 0, 0, 1, cfg.Seed+50)
-	st := stats.Analyze(db)
+	// The joint model, the JoinSel-only ablation, and the statistics
+	// pass are independent; run them on the worker pool.
+	var joint, joOnly *mtmlf.Model
+	var st *stats.DBStats
+	parallel.Do(
+		func() { joint = trainedModel(cfg, db, train, 1, 1, 1, cfg.Seed+40) },
+		func() { joOnly = trainedModel(cfg, db, train, 0, 0, 1, cfg.Seed+50) },
+		func() { st = stats.Analyze(db) },
+	)
 
 	var pgTime, optTime, jointTime, joTime float64
 	var jointOpt, joOpt int
@@ -441,24 +461,35 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 	}
 	ftSet := testQueries[:nft]
 	evalSet := testQueries[nft:]
-	testTask.Model.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR/10, cfg.Seed+500)
 
-	// Controlled study: MTMLF-QO trained from scratch on the same
-	// local workload (the held-out evaluation queries are excluded
-	// from every model's training data). The paper trains its single
-	// model on the test DB's own 20K-query workload; at our scale the
-	// local workload IS small, which is exactly the cold-start setting
-	// MTMLF targets.
-	gen := testTask.Gen
-	single := trainedModel(cfg, testDB, gen, ftSet, 1, 1, 1, cfg.Seed+600)
-
-	// Second control: identical fine-tuning applied to a FRESH
-	// (un-pre-trained) shared module, isolating what MLA pre-training
-	// contributes beyond local adaptation.
-	fresh := &mtmlf.Model{Shared: mtmlf.NewShared(cfg.Model, cfg.Seed+300), Feat: testTask.Model.Feat}
-	fresh.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR, cfg.Seed+700)
-
-	st := stats.Analyze(testDB)
+	// The compared models are independent trials over the same frozen
+	// ftSet and run concurrently on the worker pool — except that the
+	// MLA fine-tune and the `fresh` control share testTask's
+	// featurizer, and a backward pass writes Grad fields on every
+	// parameter it reaches, frozen or not; those two therefore run in
+	// sequence inside one closure.
+	var single, fresh *mtmlf.Model
+	var st *stats.DBStats
+	parallel.Do(
+		func() {
+			testTask.Model.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR/10, cfg.Seed+500)
+			// Second control: identical fine-tuning applied to a FRESH
+			// (un-pre-trained) shared module, isolating what MLA pre-training
+			// contributes beyond local adaptation.
+			fresh = &mtmlf.Model{Shared: mtmlf.NewShared(cfg.Model, cfg.Seed+300), Feat: testTask.Model.Feat}
+			fresh.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR, cfg.Seed+700)
+		},
+		func() {
+			// Controlled study: MTMLF-QO trained from scratch on the same
+			// local workload (the held-out evaluation queries are excluded
+			// from every model's training data). The paper trains its single
+			// model on the test DB's own 20K-query workload; at our scale the
+			// local workload IS small, which is exactly the cold-start setting
+			// MTMLF targets.
+			single = trainedModel(cfg, testDB, ftSet, 1, 1, 1, cfg.Seed+600)
+		},
+		func() { st = stats.Analyze(testDB) },
+	)
 	var pgTime, optTime, mlaTime, singleTime, freshTime float64
 	for _, lq := range evalSet {
 		if len(lq.OptimalOrder) < 2 {

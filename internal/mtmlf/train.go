@@ -6,7 +6,9 @@ import (
 	"mtmlf/internal/ag"
 	"mtmlf/internal/featurize"
 	"mtmlf/internal/nn"
+	"mtmlf/internal/parallel"
 	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
@@ -26,12 +28,120 @@ type TrainOptions struct {
 	Seed int64
 	// LR overrides the config learning rate when > 0.
 	LR float64
+	// BatchSize groups examples into minibatches whose averaged
+	// gradient drives each Adam step. 0 or 1 keeps per-example SGD
+	// (the original trajectory).
+	BatchSize int
+	// Workers is the number of data-parallel workers that run
+	// forward/backward over a minibatch's examples concurrently
+	// against the shared parameters, each into a private gradient
+	// buffer. 0 uses tensor.Parallelism(). The gradient reduction is
+	// ordered by example index, so the loss trajectory is bitwise
+	// identical for every worker count.
+	Workers int
+}
+
+func (o TrainOptions) batchSize() int {
+	if o.BatchSize < 1 {
+		return 1
+	}
+	return o.BatchSize
+}
+
+func (o TrainOptions) workers() int {
+	if o.Workers < 1 {
+		return tensor.Parallelism()
+	}
+	return o.Workers
 }
 
 // TrainStats summarizes a training run.
 type TrainStats struct {
+	// Steps counts training examples processed (not optimizer steps:
+	// with BatchSize b, one Adam update covers b examples).
 	Steps     int
 	FinalLoss float64
+}
+
+// batchBackward computes per-example losses and gradients for one
+// minibatch of n examples using up to nWorkers concurrent workers
+// drawn from the shared bounded pool (so -workers stays a global
+// concurrency bound even when training nests inside other parallel
+// work). build(i) must construct the i-th example's loss graph;
+// workers share the model parameters read-only and accumulate
+// gradients into private per-example buffers (slots[i]). Examples
+// are strided to workers by index and reduced by the caller in index
+// order, so the result is independent of both nWorkers and goroutine
+// scheduling.
+func batchBackward(n, nWorkers int, slots []ag.Grads, losses []float64, build func(i int) *ag.Value) {
+	run := func(i int) {
+		sink := ag.Grads{}
+		loss := build(i)
+		loss.BackwardInto(sink)
+		slots[i] = sink
+		losses[i] = loss.Item()
+	}
+	if nWorkers > n {
+		nWorkers = n
+	}
+	if nWorkers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	fs := make([]func(), nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		fs[w] = func() {
+			for i := w; i < n; i += nWorkers {
+				run(i)
+			}
+		}
+	}
+	parallel.Do(fs...)
+}
+
+// runMinibatch computes gradients for one minibatch and applies one
+// Adam step. The single-example case bypasses the sink machinery and
+// accumulates directly into the parameters' Grad fields — the same
+// trajectory bitwise (identical accumulation order), without the
+// per-example buffer and reduction traffic on the per-example-SGD
+// hot path every default-configured training run takes.
+func runMinibatch(opt *nn.Adam, n, nWorkers int, slots []ag.Grads, losses []float64, build func(i int) *ag.Value) {
+	if n == 1 {
+		opt.ZeroGrad()
+		loss := build(0)
+		loss.Backward()
+		opt.Step()
+		losses[0] = loss.Item()
+		return
+	}
+	batchBackward(n, nWorkers, slots, losses, build)
+	opt.StepAveraged(slots[:n], 1/float64(n))
+}
+
+// jointLoss builds the Equation 1 loss graph for one labeled query.
+func (m *Model) jointLoss(lq *workload.LabeledQuery, seqLevel bool) *ag.Value {
+	cfg := m.Shared.Cfg
+	rep := m.Represent(lq.Q, lq.Plan)
+	loss := ag.Scalar(0)
+	if cfg.WCard > 0 {
+		loss = ag.Add(loss, ag.Scale(m.CardLoss(rep, lq), cfg.WCard))
+	}
+	if cfg.WCost > 0 {
+		loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, lq), cfg.WCost))
+	}
+	if cfg.WJo > 0 && len(lq.OptimalOrder) >= 2 {
+		var jo *ag.Value
+		if seqLevel {
+			jo = m.JoinOrderSequenceLoss(rep, lq.Q, lq.OptimalOrder)
+		} else {
+			jo = m.JoinOrderTokenLoss(rep, lq.OptimalOrder)
+		}
+		loss = ag.Add(loss, ag.Scale(jo, cfg.WJo))
+	}
+	return loss
 }
 
 // TrainJoint trains the (S) and (T) modules jointly on all three tasks
@@ -40,42 +150,42 @@ type TrainStats struct {
 // pre-trained separately (Featurizer.PretrainAll) and stay frozen
 // here. Single-task ablations (MTMLF-CardEst etc.) are obtained by
 // zeroing the other weights in Config.
+//
+// Training is minibatch data-parallel: each minibatch's examples run
+// forward/backward concurrently on TrainOptions.Workers workers
+// against the shared parameters, each into a private gradient buffer;
+// the buffers are then averaged in example order and applied as one
+// Adam step. The trajectory depends on Seed and BatchSize but never
+// on Workers.
 func (m *Model) TrainJoint(train []*workload.LabeledQuery, opts TrainOptions) TrainStats {
 	cfg := m.Shared.Cfg
 	lr := cfg.LR
 	if opts.LR > 0 {
 		lr = opts.LR
 	}
+	bs := opts.batchSize()
+	nWorkers := opts.workers()
 	opt := nn.NewAdam(m.Shared.Params(), lr)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var running float64
 	steps := 0
+	slots := make([]ag.Grads, bs)
+	losses := make([]float64, bs)
 	for ep := 0; ep < opts.Epochs; ep++ {
 		order := rng.Perm(len(train))
-		for _, qi := range order {
-			lq := train[qi]
-			opt.ZeroGrad()
-			rep := m.Represent(lq.Q, lq.Plan)
-			loss := ag.Scalar(0)
-			if cfg.WCard > 0 {
-				loss = ag.Add(loss, ag.Scale(m.CardLoss(rep, lq), cfg.WCard))
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
 			}
-			if cfg.WCost > 0 {
-				loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, lq), cfg.WCost))
+			batch := order[start:end]
+			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
+				return m.jointLoss(train[batch[i]], opts.SeqLevelLoss)
+			})
+			for i := range batch {
+				running = 0.95*running + 0.05*losses[i]
+				steps++
 			}
-			if cfg.WJo > 0 && len(lq.OptimalOrder) >= 2 {
-				var jo *ag.Value
-				if opts.SeqLevelLoss {
-					jo = m.JoinOrderSequenceLoss(rep, lq.Q, lq.OptimalOrder)
-				} else {
-					jo = m.JoinOrderTokenLoss(rep, lq.OptimalOrder)
-				}
-				loss = ag.Add(loss, ag.Scale(jo, cfg.WJo))
-			}
-			loss.Backward()
-			opt.Step()
-			running = 0.95*running + 0.05*loss.Item()
-			steps++
 		}
 	}
 	return TrainStats{Steps: steps, FinalLoss: running}
@@ -109,6 +219,10 @@ type MLAOptions struct {
 	Workload workload.Config
 	// Seed drives all randomness.
 	Seed int64
+	// BatchSize and Workers configure the data-parallel joint loop,
+	// with the same semantics as TrainOptions.
+	BatchSize int
+	Workers   int
 }
 
 // TrainMLA runs Algorithm 1: for each database it trains the
@@ -116,12 +230,18 @@ type MLAOptions struct {
 // then trains the shared (S) and (T) modules on the pooled, shuffled
 // examples (lines 7–8). It returns the per-DB tasks so callers can
 // evaluate the shared modules on each database or attach a new one.
+//
+// Per-DB preparation (encoder pre-training, workload labeling) is
+// independent across databases and fans out over the worker pool;
+// the joint loop is minibatch data-parallel like TrainJoint, with
+// the same worker-count-independent gradient reduction.
 func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
 	tasks := make([]*DBTask, len(dbs))
-	for i, db := range dbs {
-		task := NewDBTask(shared, db, opts, opts.Seed+int64(i)*101)
-		tasks[i] = task
-	}
+	parallel.For(len(dbs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tasks[i] = NewDBTask(shared, dbs[i], opts, opts.Seed+int64(i)*101)
+		}
+	})
 	// Pool and shuffle (db, query) pairs (line 7).
 	type sample struct {
 		task *DBTask
@@ -135,19 +255,32 @@ func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
+	topts := TrainOptions{BatchSize: opts.BatchSize, Workers: opts.Workers}
+	bs := topts.batchSize()
+	nWorkers := topts.workers()
+	slots := make([]ag.Grads, bs)
+	losses := make([]float64, bs)
+	mlaLoss := func(s sample) *ag.Value {
+		m := s.task.Model
+		rep := m.Represent(s.lq.Q, s.lq.Plan)
+		loss := ag.Scale(m.CardLoss(rep, s.lq), shared.Cfg.WCard)
+		loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, s.lq), shared.Cfg.WCost))
+		if shared.Cfg.WJo > 0 && len(s.lq.OptimalOrder) >= 2 {
+			loss = ag.Add(loss, ag.Scale(m.JoinOrderTokenLoss(rep, s.lq.OptimalOrder), shared.Cfg.WJo))
+		}
+		return loss
+	}
 	for ep := 0; ep < opts.JointEpochs; ep++ {
-		for _, pi := range rng.Perm(len(pool)) {
-			s := pool[pi]
-			m := s.task.Model
-			opt.ZeroGrad()
-			rep := m.Represent(s.lq.Q, s.lq.Plan)
-			loss := ag.Scale(m.CardLoss(rep, s.lq), shared.Cfg.WCard)
-			loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, s.lq), shared.Cfg.WCost))
-			if shared.Cfg.WJo > 0 && len(s.lq.OptimalOrder) >= 2 {
-				loss = ag.Add(loss, ag.Scale(m.JoinOrderTokenLoss(rep, s.lq.OptimalOrder), shared.Cfg.WJo))
+		order := rng.Perm(len(pool))
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
 			}
-			loss.Backward()
-			opt.Step()
+			batch := order[start:end]
+			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
+				return mlaLoss(pool[batch[i]])
+			})
 		}
 	}
 	return tasks

@@ -90,6 +90,18 @@ func (a *Adam) Step() {
 	}
 }
 
+// StepAveraged reduces per-example gradient buffers (slots, in slot
+// order) into the parameters' Grad fields scaled by scale — typically
+// 1/batch — and applies one Adam update. It is the reduction half of
+// data-parallel minibatch training: because ag.ReduceGrads sums in
+// slot order, the update is bitwise identical no matter how many
+// workers filled the slots.
+func (a *Adam) StepAveraged(slots []ag.Grads, scale float64) {
+	a.ZeroGrad()
+	ag.ReduceGrads(a.params, slots, scale)
+	a.Step()
+}
+
 // SGD is a plain stochastic-gradient-descent optimizer, used by tests
 // and ablations as a reference point.
 type SGD struct {

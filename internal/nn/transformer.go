@@ -35,28 +35,40 @@ func NewMultiHeadAttention(rng *rand.Rand, dim, heads int) *MultiHeadAttention {
 
 // Forward attends queries q [lq, dim] over keys/values kv [lk, dim].
 // mask, if non-nil, is a [lq, lk] additive mask (use -1e9 to block).
+//
+// The per-head products run through the batched matmul ops: each
+// head's score and context matrices are tiny, so fusing them into one
+// worker-pool dispatch is what lets multi-head attention use more
+// than one core. The math (and gradients) are identical to the
+// head-at-a-time form.
 func (a *MultiHeadAttention) Forward(q, kv *ag.Value, mask *tensor.Tensor) *ag.Value {
 	Q := a.WQ.Forward(q)
 	K := a.WK.Forward(kv)
 	V := a.WV.Forward(kv)
 	dh := a.Dim / a.Heads
 	scale := 1 / math.Sqrt(float64(dh))
-	heads := make([]*ag.Value, a.Heads)
 	var maskV *ag.Value
 	if mask != nil {
 		maskV = ag.Const(mask)
 	}
+	qhs := make([]*ag.Value, a.Heads)
+	khs := make([]*ag.Value, a.Heads)
+	vhs := make([]*ag.Value, a.Heads)
 	for h := 0; h < a.Heads; h++ {
-		qh := ag.SliceCols(Q, h*dh, (h+1)*dh)
-		kh := ag.SliceCols(K, h*dh, (h+1)*dh)
-		vh := ag.SliceCols(V, h*dh, (h+1)*dh)
-		scores := ag.Scale(ag.MatMulTransB(qh, kh), scale)
-		if maskV != nil {
-			scores = ag.Add(scores, maskV)
-		}
-		attn := ag.SoftmaxRows(scores)
-		heads[h] = ag.MatMul(attn, vh)
+		qhs[h] = ag.SliceCols(Q, h*dh, (h+1)*dh)
+		khs[h] = ag.SliceCols(K, h*dh, (h+1)*dh)
+		vhs[h] = ag.SliceCols(V, h*dh, (h+1)*dh)
 	}
+	scores := ag.MatMulTransBBatch(qhs, khs)
+	attns := make([]*ag.Value, a.Heads)
+	for h, s := range scores {
+		s = ag.Scale(s, scale)
+		if maskV != nil {
+			s = ag.Add(s, maskV)
+		}
+		attns[h] = ag.SoftmaxRows(s)
+	}
+	heads := ag.MatMulBatch(attns, vhs)
 	return a.WO.Forward(ag.ConcatCols(heads...))
 }
 

@@ -1,0 +1,141 @@
+// Package parallel is the repo-wide worker pool: a single bounded set
+// of worker slots shared by every data-parallel loop in the system —
+// tensor kernels, minibatch training, experiment trials, and fleet
+// generation all draw from the same budget, so nested parallelism can
+// never oversubscribe the machine.
+//
+// The pool is token-based: For and Do hand chunks to new goroutines
+// only while a worker slot is free and run them inline on the calling
+// goroutine otherwise. Inline fallback makes nesting deadlock-free
+// (an outer worker that fans out again just does the work itself when
+// the pool is saturated) and keeps the serial path allocation-free.
+//
+// Callers must ensure chunk bodies touch disjoint data; the pool adds
+// no locking of its own. Every splitter here produces the same chunk
+// boundaries regardless of how many workers execute them, so a
+// computation whose per-chunk math is deterministic stays bitwise
+// reproducible at any pool size.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	workers = runtime.GOMAXPROCS(0)
+	// tokens holds workers-1 slots: the calling goroutine is always the
+	// extra worker, so total concurrency equals the worker count.
+	tokens = make(chan struct{}, max(workers-1, 0))
+)
+
+// SetWorkers sets the pool size and returns the previous value.
+// n <= 0 resets to runtime.GOMAXPROCS(0). A pool size of 1 disables
+// all parallelism (every loop runs inline on the caller).
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	prev := workers
+	if n != workers {
+		workers = n
+		tokens = make(chan struct{}, n-1)
+	}
+	return prev
+}
+
+// Workers returns the current pool size.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workers
+}
+
+// pool snapshots the current token channel and size.
+func pool() (chan struct{}, int) {
+	mu.Lock()
+	defer mu.Unlock()
+	return tokens, workers
+}
+
+// For splits [0, n) into contiguous chunks of at least grain elements
+// and runs body on each, using up to Workers goroutines. Chunk
+// boundaries depend only on n, grain, and the pool size — not on
+// scheduling — and bodies must write only within their own range.
+// With a pool of 1, or when n is too small to split, body(0, n) runs
+// inline.
+func For(n, grain int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	toks, nw := pool()
+	chunks := (n + grain - 1) / grain
+	if chunks > nw {
+		chunks = nw
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		select {
+		case toks <- struct{}{}:
+			wg.Add(1)
+			go func(s, e int) {
+				defer wg.Done()
+				defer func() { <-toks }()
+				body(s, e)
+			}(start, end)
+		default:
+			// Pool saturated: the caller is the worker.
+			body(start, end)
+		}
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently on the pool and waits for
+// all of them. Functions must not depend on each other's side effects.
+func Do(fs ...func()) {
+	if len(fs) == 0 {
+		return
+	}
+	if len(fs) == 1 {
+		fs[0]()
+		return
+	}
+	toks, nw := pool()
+	if nw <= 1 {
+		for _, f := range fs {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		select {
+		case toks <- struct{}{}:
+			wg.Add(1)
+			go func(f func()) {
+				defer wg.Done()
+				defer func() { <-toks }()
+				f()
+			}(f)
+		default:
+			f()
+		}
+	}
+	wg.Wait()
+}

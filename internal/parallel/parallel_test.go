@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 4099} {
+		hits := make([]int32, n)
+		For(n, 1, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	// With grain >= n the body must run once, inline, over the full range.
+	calls := 0
+	For(10, 100, func(start, end int) {
+		calls++
+		if start != 0 || end != 10 {
+			t.Fatalf("got chunk [%d,%d)", start, end)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	calls := 0
+	For(1000, 1, func(start, end int) {
+		calls++
+		if start != 0 || end != 1000 {
+			t.Fatalf("got chunk [%d,%d)", start, end)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	var total int64
+	For(16, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			For(32, 1, func(s, e int) {
+				atomic.AddInt64(&total, int64(e-s))
+			})
+		}
+	})
+	if total != 16*32 {
+		t.Fatalf("total = %d, want %d", total, 16*32)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	var a, b, c int32
+	Do(
+		func() { atomic.AddInt32(&a, 1) },
+		func() { atomic.AddInt32(&b, 1) },
+		func() { atomic.AddInt32(&c, 1) },
+	)
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatalf("a=%d b=%d c=%d", a, b, c)
+	}
+}
+
+func TestSetWorkersDefaults(t *testing.T) {
+	prev := SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	SetWorkers(prev)
+}

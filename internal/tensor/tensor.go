@@ -5,6 +5,11 @@
 //
 // Tensors are row-major. Almost all of the model code works with rank-2
 // tensors (matrices); vectors are represented as 1xN matrices.
+//
+// The matrix-multiply kernels live in matmul.go: they are
+// cache-blocked and shard large products by output row across the
+// package worker pool (see SetParallelism), while producing bitwise
+// identical results at every parallelism level.
 package tensor
 
 import (
@@ -226,88 +231,6 @@ func Scale(a *Tensor, s float64) *Tensor {
 	out := New(a.Shape...)
 	for i := range a.Data {
 		out.Data[i] = a.Data[i] * s
-	}
-	return out
-}
-
-// MatMul returns a @ b for matrices a [m,k] and b [k,n].
-// The inner loop is ordered (i, l, j) so both b and out are accessed
-// sequentially; this is the hot kernel of the whole substrate.
-func MatMul(a, b *Tensor) *Tensor {
-	a.mustMatrix()
-	b.mustMatrix()
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.Shape, b.Shape))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for l := 0; l < k; l++ {
-			av := arow[l]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[l*n : (l+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
-}
-
-// MatMulTransB returns a @ b^T for a [m,k], b [n,k]. It avoids
-// materializing the transpose, which the attention kernels rely on.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	a.mustMatrix()
-	b.mustMatrix()
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %v @ %v^T", a.Shape, b.Shape))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float64
-			for l := 0; l < k; l++ {
-				s += arow[l] * brow[l]
-			}
-			orow[j] = s
-		}
-	}
-	return out
-}
-
-// MatMulTransA returns a^T @ b for a [k,m], b [k,n].
-func MatMulTransA(a, b *Tensor) *Tensor {
-	a.mustMatrix()
-	b.mustMatrix()
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dim mismatch %v^T @ %v", a.Shape, b.Shape))
-	}
-	out := New(m, n)
-	for l := 0; l < k; l++ {
-		arow := a.Data[l*m : (l+1)*m]
-		brow := b.Data[l*n : (l+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
 	}
 	return out
 }
