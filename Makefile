@@ -4,7 +4,7 @@
 GO ?= go
 RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen
 
-.PHONY: all build vet fmt-check test race bench bench-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json ci
 
 all: build
 
@@ -38,4 +38,13 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench='MatMul' -benchtime=1x .
 
-ci: build vet fmt-check test race bench-smoke
+# Inference fast-path benches with allocation counts: cached vs legacy
+# beam search, pooled vs map Figure-4 codec, grad vs no-grad forward.
+bench-infer:
+	$(GO) test -run=NONE -bench='BeamWidth|Figure4Decoding|BeamSearchCached|BeamSearchLegacy|InferNoGrad' -benchmem -benchtime=1x .
+
+# Machine-readable perf report for the serving path (CI uploads it).
+bench-json:
+	$(GO) run ./cmd/mtmlf-bench -json BENCH_PR2.json
+
+ci: build vet fmt-check test race bench-smoke bench-infer

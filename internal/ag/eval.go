@@ -1,0 +1,292 @@
+// Inference fast path: a forward-only evaluator.
+//
+// Training builds an autodiff graph — every op allocates a *Value
+// node, a fresh result tensor, parent links and a backward closure,
+// and Backward topo-sorts the lot. None of that is needed to *serve* a
+// model. Eval is the no-grad twin of the op set: it computes the same
+// forward arithmetic directly on raw tensors drawn from a tensor.Pool,
+// so a steady-state forward pass performs no node construction, no
+// parent tracking, no topo-sort bookkeeping, and (once the pool is
+// warm) no heap allocation.
+//
+// Equivalence contract: for every op, Eval produces output BITWISE
+// identical to the grad-tracked op's forward result (asserted with
+// eps = 0 in eval_test.go). This is what lets the serving path swap in
+// underneath the experiments without perturbing a single number.
+//
+// Lifetime rules: tensors returned by Eval ops belong to the
+// evaluator's pool and die at the next Reset. An Eval is single-
+// goroutine; concurrent inference sessions each acquire their own
+// (AcquireEval / ReleaseEval, or the NoGrad convenience wrapper).
+package ag
+
+import (
+	"fmt"
+	"sync"
+
+	"mtmlf/internal/tensor"
+)
+
+// Eval is a pooled forward-only evaluator — the substrate analogue of
+// torch.no_grad() + inference tensor reuse. Not safe for concurrent
+// use; see AcquireEval.
+type Eval struct {
+	pool *tensor.Pool
+	// views is a freelist of tensor headers for zero-copy row views,
+	// recycled on Reset like the pooled buffers.
+	views []*tensor.Tensor
+	vnext int
+}
+
+// NewEval creates an evaluator with an empty pool.
+func NewEval() *Eval { return &Eval{pool: tensor.NewPool()} }
+
+// Reset reclaims every tensor and view handed out by this evaluator.
+func (e *Eval) Reset() {
+	e.pool.Reset()
+	e.vnext = 0
+}
+
+// Get returns a zeroed pooled tensor — scratch for callers that
+// write elements selectively (one-hot feature rows and the like).
+// The op methods below use the pool's unzeroed variant internally
+// when they overwrite every element anyway.
+func (e *Eval) Get(shape ...int) *tensor.Tensor { return e.pool.Get(shape...) }
+
+var evalPool = sync.Pool{New: func() any { return NewEval() }}
+
+// AcquireEval checks a warm evaluator out of the process-wide pool.
+// Pair with ReleaseEval.
+func AcquireEval() *Eval { return evalPool.Get().(*Eval) }
+
+// ReleaseEval resets e and returns it to the process-wide pool. Every
+// tensor it handed out becomes invalid.
+func ReleaseEval(e *Eval) {
+	e.Reset()
+	evalPool.Put(e)
+}
+
+// NoGrad runs f with a pooled evaluator, then reclaims everything the
+// evaluator handed out. Results that must survive f must be copied out
+// (Clone) before it returns.
+func NoGrad(f func(e *Eval)) {
+	e := AcquireEval()
+	defer ReleaseEval(e)
+	f(e)
+}
+
+// RowsView returns a zero-copy view of rows [from, to) of t. The view
+// shares t's backing array and dies at Reset; callers must treat it as
+// read-only. Values are identical to ag.SliceRows's copy.
+func (e *Eval) RowsView(t *tensor.Tensor, from, to int) *tensor.Tensor {
+	m, n := t.Rows(), t.Cols()
+	if from < 0 || to > m || from > to {
+		panic(fmt.Sprintf("ag: Eval.RowsView [%d,%d) of %d rows", from, to, m))
+	}
+	return e.view(t.Data[from*n:to*n], to-from, n)
+}
+
+// RowSeg returns a zero-copy [1, to-from] view of columns [from, to)
+// of row i of t (a single row segment is contiguous in row-major
+// layout). Same lifetime and read-only rules as RowsView.
+func (e *Eval) RowSeg(t *tensor.Tensor, i, from, to int) *tensor.Tensor {
+	n := t.Cols()
+	if i < 0 || i >= t.Rows() || from < 0 || to > n || from > to {
+		panic(fmt.Sprintf("ag: Eval.RowSeg row %d cols [%d,%d) of %v", i, from, to, t.Shape))
+	}
+	return e.view(t.Data[i*n+from:i*n+to], 1, to-from)
+}
+
+// view hands out a recycled tensor header over data.
+func (e *Eval) view(data []float64, rows, cols int) *tensor.Tensor {
+	if e.vnext < len(e.views) {
+		v := e.views[e.vnext]
+		e.vnext++
+		v.Data = data
+		v.Shape[0], v.Shape[1] = rows, cols
+		return v
+	}
+	v := &tensor.Tensor{Data: data, Shape: []int{rows, cols}}
+	e.views = append(e.views, v)
+	e.vnext++
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Op set (forward halves of the ag ops, pooled outputs)
+// ---------------------------------------------------------------------------
+
+// Add returns a + b.
+func (e *Eval) Add(a, b *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.AddInto(a, b, out)
+	return out
+}
+
+// Scale returns s * a.
+func (e *Eval) Scale(a *tensor.Tensor, s float64) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.ScaleInto(a, s, out)
+	return out
+}
+
+// AddBias broadcasts a 1xN bias row across every row of a.
+func (e *Eval) AddBias(a, bias *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.AddBiasInto(a, bias, out)
+	return out
+}
+
+// MatMul returns a @ b.
+func (e *Eval) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.Get(a.Rows(), b.Cols())
+	tensor.MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulTransB returns a @ b^T.
+func (e *Eval) MatMulTransB(a, b *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Rows(), b.Rows())
+	tensor.MatMulTransBInto(a, b, out)
+	return out
+}
+
+// MatMulBatch returns as[i] @ bs[i] computed in one pool dispatch.
+func (e *Eval) MatMulBatch(as, bs []*tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(as))
+	for i := range as {
+		outs[i] = e.pool.Get(as[i].Rows(), bs[i].Cols())
+	}
+	tensor.MatMulBatchInto(as, bs, outs)
+	return outs
+}
+
+// MatMulTransBBatch returns as[i] @ bs[i]^T in one pool dispatch.
+func (e *Eval) MatMulTransBBatch(as, bs []*tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(as))
+	for i := range as {
+		outs[i] = e.pool.GetUninit(as[i].Rows(), bs[i].Rows())
+	}
+	tensor.MatMulTransBBatchInto(as, bs, outs)
+	return outs
+}
+
+// ReLU applies max(0, x) elementwise.
+func (e *Eval) ReLU(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.ReLUInto(a, out)
+	return out
+}
+
+// GELU applies the tanh-approximation GELU elementwise.
+func (e *Eval) GELU(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.GELUInto(a, out)
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (e *Eval) Tanh(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.TanhInto(a, out)
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (e *Eval) Sigmoid(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.SigmoidInto(a, out)
+	return out
+}
+
+// SoftmaxRows applies softmax to each row.
+func (e *Eval) SoftmaxRows(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.SoftmaxRowsInto(a, out)
+	return out
+}
+
+// LogSoftmaxRows applies log-softmax to each row.
+func (e *Eval) LogSoftmaxRows(a *tensor.Tensor) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.LogSoftmaxRowsInto(a, out)
+	return out
+}
+
+// LayerNormRows normalizes each row and applies gain/bias.
+func (e *Eval) LayerNormRows(a, gamma, beta *tensor.Tensor, eps float64) *tensor.Tensor {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.LayerNormRowsInto(a, gamma, beta, eps, out)
+	return out
+}
+
+// ConcatRows stacks matrices with equal column counts vertically.
+func (e *Eval) ConcatRows(vs ...*tensor.Tensor) *tensor.Tensor {
+	if len(vs) == 0 {
+		panic("ag: Eval.ConcatRows of nothing")
+	}
+	n := vs[0].Cols()
+	total := 0
+	for _, v := range vs {
+		if v.Cols() != n {
+			panic("ag: Eval.ConcatRows column mismatch")
+		}
+		total += v.Rows()
+	}
+	out := e.pool.GetUninit(total, n)
+	r := 0
+	for _, v := range vs {
+		copy(out.Data[r*n:], v.Data)
+		r += v.Rows()
+	}
+	return out
+}
+
+// ConcatCols stacks matrices with equal row counts horizontally.
+func (e *Eval) ConcatCols(vs ...*tensor.Tensor) *tensor.Tensor {
+	if len(vs) == 0 {
+		panic("ag: Eval.ConcatCols of nothing")
+	}
+	m := vs[0].Rows()
+	total := 0
+	for _, v := range vs {
+		if v.Rows() != m {
+			panic("ag: Eval.ConcatCols row mismatch")
+		}
+		total += v.Cols()
+	}
+	out := e.pool.GetUninit(m, total)
+	off := 0
+	for _, v := range vs {
+		c := v.Cols()
+		for i := 0; i < m; i++ {
+			copy(out.Row(i)[off:off+c], v.Row(i))
+		}
+		off += c
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of a (copied because
+// column slices are not contiguous).
+func (e *Eval) SliceCols(a *tensor.Tensor, from, to int) *tensor.Tensor {
+	m, n := a.Rows(), a.Cols()
+	if from < 0 || to > n || from > to {
+		panic(fmt.Sprintf("ag: Eval.SliceCols [%d,%d) of %d cols", from, to, n))
+	}
+	out := e.pool.GetUninit(m, to-from)
+	for i := 0; i < m; i++ {
+		copy(out.Row(i), a.Row(i)[from:to])
+	}
+	return out
+}
+
+// Gather returns the rows of w selected by idx, in order.
+func (e *Eval) Gather(w *tensor.Tensor, idx []int) *tensor.Tensor {
+	n := w.Cols()
+	out := e.pool.GetUninit(len(idx), n)
+	for i, ix := range idx {
+		copy(out.Row(i), w.Row(ix))
+	}
+	return out
+}

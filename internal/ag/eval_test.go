@@ -1,0 +1,105 @@
+package ag
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtmlf/internal/tensor"
+)
+
+// TestEvalOpsBitwiseMatchGradOps asserts every Eval op's output is
+// bitwise identical (eps = 0) to the forward result of the
+// corresponding grad-tracked op.
+func TestEvalOpsBitwiseMatchGradOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := tensor.Rand(rng, 7, 12, 2)
+	b := tensor.Rand(rng, 7, 12, 2)
+	w := tensor.Rand(rng, 12, 9, 1)
+	k := tensor.Rand(rng, 5, 12, 1)
+	bias := tensor.Rand(rng, 1, 12, 1)
+	gamma := tensor.Rand(rng, 1, 12, 1)
+	beta := tensor.Rand(rng, 1, 12, 1)
+
+	e := NewEval()
+	defer e.Reset()
+
+	check := func(name string, got *tensor.Tensor, want *Value) {
+		t.Helper()
+		if !tensor.Equal(want.T, got, 0) {
+			t.Fatalf("%s: Eval output diverges from grad-tracked forward", name)
+		}
+	}
+
+	av, bv := Const(a), Const(b)
+	check("Add", e.Add(a, b), Add(av, bv))
+	check("Scale", e.Scale(a, -0.37), Scale(av, -0.37))
+	check("AddBias", e.AddBias(a, bias), AddBias(av, Const(bias)))
+	check("MatMul", e.MatMul(a, w), MatMul(av, Const(w)))
+	check("MatMulTransB", e.MatMulTransB(a, k), MatMulTransB(av, Const(k)))
+	check("ReLU", e.ReLU(a), ReLU(av))
+	check("GELU", e.GELU(a), GELU(av))
+	check("Tanh", e.Tanh(a), Tanh(av))
+	check("Sigmoid", e.Sigmoid(a), Sigmoid(av))
+	check("SoftmaxRows", e.SoftmaxRows(a), SoftmaxRows(av))
+	check("LogSoftmaxRows", e.LogSoftmaxRows(a), LogSoftmaxRows(av))
+	check("LayerNormRows", e.LayerNormRows(a, gamma, beta, 1e-5),
+		LayerNormRows(av, Const(gamma), Const(beta), 1e-5))
+	check("ConcatRows", e.ConcatRows(a, b), ConcatRows(av, bv))
+	check("ConcatCols", e.ConcatCols(a, b), ConcatCols(av, bv))
+	check("SliceCols", e.SliceCols(a, 3, 9), SliceCols(av, 3, 9))
+	check("RowsView", e.RowsView(a, 2, 5), SliceRows(av, 2, 5))
+	check("Gather", e.Gather(w, []int{3, 0, 3, 7}), Gather(Const(w), []int{3, 0, 3, 7}))
+
+	batchA := []*tensor.Tensor{a, b}
+	batchB := []*tensor.Tensor{w, w}
+	gotB := e.MatMulBatch(batchA, batchB)
+	wantB := MatMulBatch([]*Value{av, bv}, []*Value{Const(w), Const(w)})
+	for i := range gotB {
+		check("MatMulBatch", gotB[i], wantB[i])
+	}
+	gotTB := e.MatMulTransBBatch([]*tensor.Tensor{a, b}, []*tensor.Tensor{k, k})
+	wantTB := MatMulTransBBatch([]*Value{av, bv}, []*Value{Const(k), Const(k)})
+	for i := range gotTB {
+		check("MatMulTransBBatch", gotTB[i], wantTB[i])
+	}
+}
+
+// TestEvalSteadyStateAllocationFree asserts a warm evaluator runs a
+// small forward chain without allocating.
+func TestEvalSteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.Rand(rng, 4, 16, 1)
+	w := tensor.Rand(rng, 16, 16, 1)
+	bias := tensor.Rand(rng, 1, 16, 1)
+	e := NewEval()
+	chain := func() {
+		h := e.MatMul(x, w)
+		h = e.AddBias(h, bias)
+		h = e.GELU(h)
+		h = e.SoftmaxRows(h)
+		_ = e.RowsView(h, 0, 2)
+		e.Reset()
+	}
+	chain() // warm the pool
+	if allocs := testing.AllocsPerRun(50, chain); allocs > 0 {
+		t.Fatalf("warm Eval chain allocates %.1f times per run", allocs)
+	}
+}
+
+// TestNoGradReclaims checks the NoGrad wrapper hands the evaluator
+// back warm: two successive sessions reuse the same buffers.
+func TestNoGradReclaims(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.Rand(rng, 3, 8, 1)
+	var first *tensor.Tensor
+	NoGrad(func(e *Eval) { first = e.Scale(x, 2) })
+	var second *tensor.Tensor
+	var reused bool
+	NoGrad(func(e *Eval) {
+		second = e.Scale(x, 3)
+		reused = &second.Data[0] == &first.Data[0]
+	})
+	if !reused {
+		t.Skip("sync.Pool did not return the same evaluator (GC timing); nothing to assert")
+	}
+}

@@ -1,0 +1,118 @@
+// Package benchjson measures Go benchmark functions and writes a
+// machine-readable report (ns/op, allocs/op, B/op, plus named speedup
+// ratios between measurement pairs). It exists so the perf trajectory
+// of the serving fast path accumulates as JSON artifacts
+// (BENCH_PR2.json and successors) instead of scrollback: the
+// mtmlf-bench CLI's -json flag and the CI benchmark step both write
+// through it.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Entry is one measured benchmark.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Speedup relates a baseline entry to its fast-path counterpart.
+type Speedup struct {
+	Name        string  `json:"name"`
+	Baseline    string  `json:"baseline"`
+	Fast        string  `json:"fast"`
+	NsSpeedup   float64 `json:"ns_speedup"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+}
+
+// Report is the JSON document.
+type Report struct {
+	Label      string    `json:"label"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	CreatedAt  string    `json:"created_at"`
+	Entries    []Entry   `json:"entries"`
+	Speedups   []Speedup `json:"speedups"`
+}
+
+// NewReport creates a report stamped with the runtime environment.
+func NewReport(label string) *Report {
+	return &Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Measure runs f under the testing benchmark driver (with allocation
+// reporting on) and records the result under name.
+func (r *Report) Measure(name string, f func(b *testing.B)) Entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	e := Entry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	r.Entries = append(r.Entries, e)
+	return e
+}
+
+// find returns the entry recorded under name.
+func (r *Report) find(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// AddSpeedup records the ns/op and allocs/op ratios of two previously
+// measured entries (baseline / fast — higher is better).
+func (r *Report) AddSpeedup(name, baseline, fast string) error {
+	b, ok := r.find(baseline)
+	if !ok {
+		return fmt.Errorf("benchjson: no entry %q", baseline)
+	}
+	f, ok := r.find(fast)
+	if !ok {
+		return fmt.Errorf("benchjson: no entry %q", fast)
+	}
+	s := Speedup{Name: name, Baseline: baseline, Fast: fast}
+	if f.NsPerOp > 0 {
+		s.NsSpeedup = b.NsPerOp / f.NsPerOp
+	}
+	if f.AllocsPerOp > 0 {
+		s.AllocsRatio = float64(b.AllocsPerOp) / float64(f.AllocsPerOp)
+	} else if b.AllocsPerOp > 0 {
+		// Fast path allocates nothing: report the baseline count as
+		// the (unbounded) improvement factor.
+		s.AllocsRatio = float64(b.AllocsPerOp)
+	}
+	r.Speedups = append(r.Speedups, s)
+	return nil
+}
+
+// Write marshals the report to path (pretty-printed, trailing newline).
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,59 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var escape []byte
+
+func TestReportMeasureSpeedupAndWrite(t *testing.T) {
+	r := NewReport("test")
+	sink := 0
+	r.Measure("slow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := make([]byte, 64)
+			escape = buf // force the allocation to the heap
+			sink += len(buf)
+		}
+	})
+	r.Measure("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink++
+		}
+	})
+	if err := r.AddSpeedup("alloc_vs_not", "slow", "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSpeedup("missing", "nope", "fast"); err == nil {
+		t.Fatal("want error for unknown baseline")
+	}
+	sp := r.Speedups[0]
+	if sp.NsSpeedup <= 0 {
+		t.Fatalf("ns speedup %v", sp.NsSpeedup)
+	}
+	if sp.AllocsRatio < 1 {
+		t.Fatalf("allocs ratio %v (slow allocates, fast does not)", sp.AllocsRatio)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "test" || len(back.Entries) != 2 || len(back.Speedups) != 1 {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if back.Entries[0].Name != "slow" || back.Entries[0].NsPerOp <= 0 {
+		t.Fatalf("entry roundtrip mismatch: %+v", back.Entries[0])
+	}
+}

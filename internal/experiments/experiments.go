@@ -357,8 +357,9 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 		optTime += cost.SimulatedTimeOrder(ex, lq.OptimalOrder)
 		// MTMLF variants.
 		evalJO := func(m *mtmlf.Model) (float64, bool) {
-			rep := m.Represent(lq.Q, lq.Plan)
-			order := m.JoinOrderFor(lq.Q, rep)
+			// Serve from the no-grad KV-cached fast path (same order
+			// as the grad path, bitwise).
+			order := m.InferJoinOrder(lq.Q, lq.Plan)
 			t := cost.SimulatedTimeOrder(ex, order)
 			return t, metrics.JOEU(order, lq.OptimalOrder) == 1
 		}
@@ -503,8 +504,7 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 		pgTime += cost.SimulatedTimeOrder(ex, pgRes.Order)
 		optTime += cost.SimulatedTimeOrder(ex, lq.OptimalOrder)
 		timeOf := func(m *mtmlf.Model) float64 {
-			rep := m.Represent(lq.Q, lq.Plan)
-			return cost.SimulatedTimeOrder(ex, m.JoinOrderFor(lq.Q, rep))
+			return cost.SimulatedTimeOrder(ex, m.InferJoinOrder(lq.Q, lq.Plan))
 		}
 		mlaTime += timeOf(testTask.Model)
 		singleTime += timeOf(single)

@@ -214,6 +214,26 @@ func (f *Featurizer) EncodeTable(table string, filters []sqldb.Filter) *ag.Value
 	return ag.SliceRows(out, 0, 1)
 }
 
+// EncodeTableInfer is the no-grad twin of EncodeTable on the Eval
+// fast path: same kernels, no graph, pooled intermediates. Output is
+// bitwise identical to EncodeTable's forward result.
+func (f *Featurizer) EncodeTableInfer(e *ag.Eval, table string, filters []sqldb.Filter) *tensor.Tensor {
+	enc, ok := f.Encs[table]
+	if !ok {
+		panic(fmt.Sprintf("featurize: unknown table %q", table))
+	}
+	seq := enc.CLS.T
+	if len(filters) > 0 {
+		raw := e.Get(len(filters), f.Cfg.TokenWidth())
+		for i, flt := range filters {
+			copy(raw.Row(i), f.FilterToken(flt))
+		}
+		seq = e.ConcatRows(enc.CLS.T, enc.Proj.Infer(e, raw))
+	}
+	out := enc.Enc.Infer(e, seq, nil)
+	return e.RowsView(out, 0, 1)
+}
+
 // PredictLogCard runs the single-table CardEst head of Enc_i — its
 // pre-training task ("E_i learns the data distribution of T_i through
 // predicting the cardinality of filter predicate f(T_i)").

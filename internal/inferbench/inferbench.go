@@ -1,0 +1,127 @@
+// Package inferbench holds the serving-path benchmark scenarios that
+// are measured twice: by the root `go test -bench` harness and by the
+// `mtmlf-bench -json` report (BENCH_PR2.json). Both import the bodies
+// from here so the two surfaces always measure the same workload —
+// if they drifted, the accumulated perf trajectory would silently
+// stop describing the benchmarks it is named after.
+package inferbench
+
+import (
+	"testing"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/workload"
+)
+
+// Setup builds the standard benchmark model and 4-table labeled query
+// (the scale the Figure 2 pipeline benches have always used).
+func Setup() (*mtmlf.Model, *workload.LabeledQuery) {
+	db := datagen.SyntheticIMDB(1, 0.05)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	m := mtmlf.NewModel(cfg, db, 1)
+	gen := workload.NewGenerator(db, 2)
+	wcfg := workload.DefaultConfig()
+	wcfg.MinTables, wcfg.MaxTables = 4, 4
+	return m, gen.Generate(1, wcfg)[0]
+}
+
+// Figure4Tree is the paper's Figure 4 left-deep example.
+func Figure4Tree() *plan.Node {
+	return plan.NewJoin(plan.HashJoin,
+		plan.NewJoin(plan.HashJoin,
+			plan.NewJoin(plan.HashJoin, plan.Leaf("T1", plan.SeqScan), plan.Leaf("T2", plan.SeqScan)),
+			plan.Leaf("T3", plan.SeqScan)),
+		plan.Leaf("T4", plan.SeqScan))
+}
+
+// BeamSearchCached is the KV-cached incremental constrained beam
+// search at width k.
+func BeamSearchCached(m *mtmlf.Model, lq *workload.LabeledQuery, k int) func(b *testing.B) {
+	rep := m.Represent(lq.Q, lq.Plan)
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := m.Shared.JO.BeamSearch(rep.Memory, lq.Q, k, true); len(res) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	}
+}
+
+// BeamSearchLegacy is the pre-fast-path full-prefix recompute search.
+func BeamSearchLegacy(m *mtmlf.Model, lq *workload.LabeledQuery, k int) func(b *testing.B) {
+	rep := m.Represent(lq.Q, lq.Plan)
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := m.Shared.JO.BeamSearchLegacy(rep.Memory, lq.Q, k, true); len(res) == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	}
+}
+
+// Figure4Pooled is the Section 4.1 tree↔seq roundtrip on the pooled
+// codec (reused EmbeddingSet + NodeArena).
+func Figure4Pooled() func(b *testing.B) {
+	tree := Figure4Tree()
+	return func(b *testing.B) {
+		set := &plan.EmbeddingSet{}
+		arena := &plan.NodeArena{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arena.Reset()
+			if err := plan.DecodingEmbeddingsInto(tree, 8, set); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.TreeFromEmbeddingSet(set, arena); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Figure4Legacy is the same roundtrip on the map-allocating codec.
+func Figure4Legacy() func(b *testing.B) {
+	tree := Figure4Tree()
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			emb, err := plan.DecodingEmbeddings(tree, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.TreeFromEmbeddings(emb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// InferGrad is one (F)+(S)+heads forward pass in grad mode.
+func InferGrad(m *mtmlf.Model, lq *workload.LabeledQuery) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep := m.Represent(lq.Q, lq.Plan)
+			_ = m.PredictLogCards(rep)
+			_ = m.PredictLogCosts(rep)
+		}
+	}
+}
+
+// InferNoGrad is the same pass on the pooled no-grad evaluator.
+func InferNoGrad(m *mtmlf.Model, lq *workload.LabeledQuery) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := ag.AcquireEval()
+		defer ag.ReleaseEval(e)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := m.RepresentInfer(e, lq.Q, lq.Plan)
+			_ = m.PredictLogCardsInfer(e, rep)
+			_ = m.PredictLogCostsInfer(e, rep)
+			e.Reset()
+		}
+	}
+}

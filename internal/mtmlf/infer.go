@@ -1,0 +1,127 @@
+// The serving fast path of the model: no-grad twins of Represent and
+// the task heads, and the one-call join-order inference entry point.
+// Every function here produces bitwise identical numbers to the
+// grad-tracked pipeline (eps = 0 tests in infer_test.go) while
+// building no autodiff graph and drawing intermediates from pooled
+// buffers.
+package mtmlf
+
+import (
+	"fmt"
+	"math"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
+)
+
+// InferRep is the no-grad counterpart of Representation: raw tensors
+// owned by the evaluator that produced them (valid until its Reset).
+type InferRep struct {
+	// S holds the shared representation, one row per plan node in
+	// post-order.
+	S *tensor.Tensor
+	// Memory holds the leaf rows of S in q.Tables order.
+	Memory *tensor.Tensor
+	// Tables is the memory row order (== q.Tables).
+	Tables []string
+}
+
+// RepresentInfer runs the I→F→S dataflow on the Eval fast path. The
+// returned tensors live in e's pool: they are valid until e.Reset()
+// (or ReleaseEval) and must be cloned to outlive it.
+func (m *Model) RepresentInfer(e *ag.Eval, q *sqldb.Query, p *plan.Node) *InferRep {
+	cfg := m.Shared.Cfg
+	db := m.Feat.DB
+	if len(db.Tables) > cfg.MaxTables {
+		panic(fmt.Sprintf("mtmlf: database has %d tables, model supports %d", len(db.Tables), cfg.MaxTables))
+	}
+	nodes := p.Nodes()
+	paths := p.Paths()
+
+	fixedW := cfg.MaxTables + plan.NumScanOps + plan.NumJoinOps + 2
+	rows := make([]*tensor.Tensor, len(nodes))
+	leafRow := map[string]int{}
+	for i, n := range nodes {
+		fixed := e.Get(1, fixedW)
+		for _, t := range n.Tables() {
+			idx := db.TableIndex(t)
+			if idx < 0 {
+				panic(fmt.Sprintf("mtmlf: plan references unknown table %q", t))
+			}
+			fixed.Data[idx] = 1
+		}
+		estCard := m.Feat.Stats.EstimateSubplanCard(n.Tables(), q)
+		fixed.Data[fixedW-1] = math.Log(estCard+1) / 20
+		var embPart *tensor.Tensor
+		if n.IsLeaf() {
+			fixed.Data[cfg.MaxTables+int(n.Scan)] = 1
+			embPart = m.Feat.EncodeTableInfer(e, n.Table, q.FiltersFor(n.Table))
+			leafRow[n.Table] = i
+		} else {
+			fixed.Data[cfg.MaxTables+plan.NumScanOps+int(n.Join)] = 1
+			fixed.Data[fixedW-2] = 1 // isJoin flag
+			embPart = m.Shared.JoinEmb.Infer(e, []int{int(n.Join)})
+		}
+		rows[i] = e.ConcatCols(fixed, embPart)
+	}
+	raw := e.ConcatRows(rows...)
+	x := m.Shared.NodeProj.Infer(e, raw)
+
+	tp := make([]nn.TreePath, len(paths))
+	for i, p := range paths {
+		tp[i] = nn.TreePath(p)
+	}
+	x = e.Add(x, m.Shared.TreePos.Infer(e, tp))
+
+	S := m.Shared.Share.Infer(e, x, nil)
+
+	mem := e.Get(len(q.Tables), cfg.Dim)
+	for i, t := range q.Tables {
+		ri, ok := leafRow[t]
+		if !ok {
+			panic(fmt.Sprintf("mtmlf: query table %q missing from plan", t))
+		}
+		copy(mem.Row(i), S.Row(ri))
+	}
+	return &InferRep{S: S, Memory: mem, Tables: append([]string{}, q.Tables...)}
+}
+
+// PredictLogCardsInfer returns the per-node log-cardinality
+// predictions on the fast path.
+func (m *Model) PredictLogCardsInfer(e *ag.Eval, rep *InferRep) *tensor.Tensor {
+	return m.Shared.CardHead.Infer(e, rep.S)
+}
+
+// PredictLogCostsInfer returns the per-node log-cost predictions on
+// the fast path.
+func (m *Model) PredictLogCostsInfer(e *ag.Eval, rep *InferRep) *tensor.Tensor {
+	return m.Shared.CostHead.Infer(e, rep.S)
+}
+
+// InferJoinOrder predicts the join order for a query end to end on
+// the fast path: one no-grad Represent, then KV-cached constrained
+// beam search. This is what the experiment tables and CLIs serve
+// from; it returns the same order as Represent + JoinOrderFor.
+func (m *Model) InferJoinOrder(q *sqldb.Query, p *plan.Node) []string {
+	e := ag.AcquireEval()
+	defer ag.ReleaseEval(e)
+	rep := m.RepresentInfer(e, q, p)
+	res := m.Shared.JO.BeamSearchTensor(rep.Memory, q, m.Shared.Cfg.BeamWidth, true)
+	if len(res) == 0 {
+		return nil
+	}
+	best := res[0]
+	for _, r := range res[1:] {
+		if r.LogProb > best.LogProb {
+			best = r
+		}
+	}
+	out := make([]string, len(best.Positions))
+	for i, pos := range best.Positions {
+		out[i] = rep.Tables[pos]
+	}
+	return out
+}

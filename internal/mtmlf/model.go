@@ -238,26 +238,31 @@ func (m *Model) PredictLogCosts(rep *Representation) *ag.Value {
 }
 
 // EstimateNodeCards runs inference and returns per-node cardinality
-// estimates (exponentiated, clamped to >= 1).
+// estimates (exponentiated, clamped to >= 1). Served from the no-grad
+// fast path: numerically identical to the grad-tracked forward.
 func (m *Model) EstimateNodeCards(lq *workload.LabeledQuery) []float64 {
-	rep := m.Represent(lq.Q, lq.Plan)
-	logs := m.PredictLogCards(rep)
-	return expClamp(logs.T.Data)
+	e := ag.AcquireEval()
+	defer ag.ReleaseEval(e)
+	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
+	return expClamp(m.PredictLogCardsInfer(e, rep).Data)
 }
 
 // EstimateNodeCosts runs inference and returns per-node cost estimates.
 func (m *Model) EstimateNodeCosts(lq *workload.LabeledQuery) []float64 {
-	rep := m.Represent(lq.Q, lq.Plan)
-	logs := m.PredictLogCosts(rep)
-	return expClamp(logs.T.Data)
+	e := ag.AcquireEval()
+	defer ag.ReleaseEval(e)
+	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
+	return expClamp(m.PredictLogCostsInfer(e, rep).Data)
 }
 
 // EstimateRoot returns the root cardinality and cost estimates in one
-// forward pass.
+// forward pass on the no-grad fast path.
 func (m *Model) EstimateRoot(lq *workload.LabeledQuery) (card, costv float64) {
-	rep := m.Represent(lq.Q, lq.Plan)
-	cards := expClamp(m.PredictLogCards(rep).T.Data)
-	costs := expClamp(m.PredictLogCosts(rep).T.Data)
+	e := ag.AcquireEval()
+	defer ag.ReleaseEval(e)
+	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
+	cards := expClamp(m.PredictLogCardsInfer(e, rep).Data)
+	costs := expClamp(m.PredictLogCostsInfer(e, rep).Data)
 	return cards[len(cards)-1], costs[len(costs)-1]
 }
 

@@ -1,0 +1,112 @@
+// No-grad forward ("Infer") variants of every layer, built on ag.Eval.
+//
+// Each Infer method applies exactly the same kernels in exactly the
+// same order as its grad-tracked Forward twin, so outputs are bitwise
+// identical (asserted with eps = 0 in infer_test.go) while skipping
+// graph construction entirely and drawing every intermediate from the
+// evaluator's buffer pool.
+package nn
+
+import (
+	"math"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/tensor"
+)
+
+// Infer applies the linear layer without building a graph.
+func (l *Linear) Infer(e *ag.Eval, x *tensor.Tensor) *tensor.Tensor {
+	return e.AddBias(e.MatMul(x, l.W.T), l.B.T)
+}
+
+// Infer looks up embedding rows without building a graph.
+func (emb *Embedding) Infer(e *ag.Eval, ids []int) *tensor.Tensor {
+	return e.Gather(emb.W.T, ids)
+}
+
+// Infer applies layer normalization without building a graph.
+func (l *LayerNorm) Infer(e *ag.Eval, x *tensor.Tensor) *tensor.Tensor {
+	return e.LayerNormRows(x, l.Gamma.T, l.Beta.T, l.Eps)
+}
+
+func applyActInfer(e *ag.Eval, a Activation, x *tensor.Tensor) *tensor.Tensor {
+	switch a {
+	case ActReLU:
+		return e.ReLU(x)
+	case ActGELU:
+		return e.GELU(x)
+	case ActTanh:
+		return e.Tanh(x)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// Infer applies the MLP without building a graph.
+func (m *MLP) Infer(e *ag.Eval, x *tensor.Tensor) *tensor.Tensor {
+	for i, l := range m.Layers {
+		x = l.Infer(e, x)
+		if i+1 < len(m.Layers) {
+			x = applyActInfer(e, m.Act, x)
+		}
+	}
+	return x
+}
+
+// Infer runs full multi-head attention without building a graph,
+// mirroring Forward op for op.
+func (a *MultiHeadAttention) Infer(e *ag.Eval, q, kv, mask *tensor.Tensor) *tensor.Tensor {
+	Q := a.WQ.Infer(e, q)
+	K := a.WK.Infer(e, kv)
+	V := a.WV.Infer(e, kv)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	qhs := make([]*tensor.Tensor, a.Heads)
+	khs := make([]*tensor.Tensor, a.Heads)
+	vhs := make([]*tensor.Tensor, a.Heads)
+	for h := 0; h < a.Heads; h++ {
+		qhs[h] = e.SliceCols(Q, h*dh, (h+1)*dh)
+		khs[h] = e.SliceCols(K, h*dh, (h+1)*dh)
+		vhs[h] = e.SliceCols(V, h*dh, (h+1)*dh)
+	}
+	scores := e.MatMulTransBBatch(qhs, khs)
+	attns := make([]*tensor.Tensor, a.Heads)
+	for h, s := range scores {
+		s = e.Scale(s, scale)
+		if mask != nil {
+			s = e.Add(s, mask)
+		}
+		attns[h] = e.SoftmaxRows(s)
+	}
+	heads := e.MatMulBatch(attns, vhs)
+	return a.WO.Infer(e, e.ConcatCols(heads...))
+}
+
+// Infer applies the encoder block without building a graph.
+func (l *EncoderLayer) Infer(e *ag.Eval, x, mask *tensor.Tensor) *tensor.Tensor {
+	x = l.LN1.Infer(e, e.Add(x, l.Attn.Infer(e, x, x, mask)))
+	return l.LN2.Infer(e, e.Add(x, l.FF.Infer(e, x)))
+}
+
+// Infer applies the encoder stack without building a graph.
+func (enc *Encoder) Infer(e *ag.Eval, x, mask *tensor.Tensor) *tensor.Tensor {
+	for _, l := range enc.Layers {
+		x = l.Infer(e, x, mask)
+	}
+	return x
+}
+
+// Infer applies the decoder block without building a graph.
+func (l *DecoderLayer) Infer(e *ag.Eval, x, mem, causal *tensor.Tensor) *tensor.Tensor {
+	x = l.LN1.Infer(e, e.Add(x, l.SelfAttn.Infer(e, x, x, causal)))
+	x = l.LN2.Infer(e, e.Add(x, l.CrossAttn.Infer(e, x, mem, nil)))
+	return l.LN3.Infer(e, e.Add(x, l.FF.Infer(e, x)))
+}
+
+// Infer applies the decoder stack without building a graph.
+func (d *Decoder) Infer(e *ag.Eval, x, mem, causal *tensor.Tensor) *tensor.Tensor {
+	for _, l := range d.Layers {
+		x = l.Infer(e, x, mem, causal)
+	}
+	return x
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"mtmlf/internal/ag"
 	"mtmlf/internal/tensor"
@@ -207,14 +208,39 @@ func (d *Decoder) Params() []*ag.Value {
 	return out
 }
 
+// causalMasks memoizes CausalMask by size: join-order decoding asks
+// for the same handful of sizes on every forward, and inference may
+// run concurrently with the experiment trial fan-out, so the cache is
+// guarded by an RWMutex (covered by the nn race test).
+var (
+	causalMu    sync.RWMutex
+	causalMasks = map[int]*tensor.Tensor{}
+)
+
 // CausalMask returns an [n, n] additive mask that blocks position i
-// from attending to positions > i.
+// from attending to positions > i. The returned tensor is shared and
+// memoized per size: callers must treat it as read-only.
 func CausalMask(n int) *tensor.Tensor {
-	m := tensor.New(n, n)
+	causalMu.RLock()
+	m := causalMasks[n]
+	causalMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	m = tensor.New(n, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			m.Set(i, j, -1e9)
 		}
 	}
+	causalMu.Lock()
+	// Another goroutine may have raced us here; keep the first tensor
+	// so repeated calls keep returning a stable pointer.
+	if prev, ok := causalMasks[n]; ok {
+		m = prev
+	} else {
+		causalMasks[n] = m
+	}
+	causalMu.Unlock()
 	return m
 }

@@ -1,0 +1,218 @@
+package plan
+
+import "fmt"
+
+// Pooled variants of the Section 4.1 decoding-embedding codec.
+//
+// The map-based DecodingEmbeddings/TreeFromEmbeddings pair allocates a
+// map, one vector per table and one Node per tree position on every
+// call. Serving-path decoding (the Figure 4 tree↔seq roundtrip runs
+// once per decoded plan) reuses an EmbeddingSet and a NodeArena
+// instead: at steady state the roundtrip allocates nothing, which is
+// what BenchmarkFigure4Decoding measures.
+
+// EmbeddingSet is a dense, reusable table→embedding collection: entry
+// i is Tables[i] with vector Vec(i), all vectors Width wide and stored
+// in one slab. Reset keeps the storage for the next encode.
+type EmbeddingSet struct {
+	Tables []string
+	Width  int
+	slab   []float64
+}
+
+// Reset empties the set, retaining capacity.
+func (s *EmbeddingSet) Reset() {
+	s.Tables = s.Tables[:0]
+	s.slab = s.slab[:0]
+	s.Width = 0
+}
+
+// Len returns the number of tables in the set.
+func (s *EmbeddingSet) Len() int { return len(s.Tables) }
+
+// Vec returns entry i's embedding (a slab view; valid until Reset).
+func (s *EmbeddingSet) Vec(i int) []float64 { return s.slab[i*s.Width : (i+1)*s.Width] }
+
+// index returns the entry for table t, or -1.
+func (s *EmbeddingSet) index(t string) int {
+	for i, x := range s.Tables {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// add appends a zeroed vector for table t and returns it.
+func (s *EmbeddingSet) add(t string) []float64 {
+	s.Tables = append(s.Tables, t)
+	n := len(s.slab)
+	if n+s.Width <= cap(s.slab) {
+		s.slab = s.slab[: n+s.Width : cap(s.slab)]
+		v := s.slab[n : n+s.Width]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	s.slab = append(s.slab, make([]float64, s.Width)...)
+	return s.slab[n : n+s.Width]
+}
+
+// DecodingEmbeddingsInto computes the per-table decoding embeddings of
+// the tree into set (which is Reset first). Semantics match
+// DecodingEmbeddings; at steady state the encode allocates nothing.
+func DecodingEmbeddingsInto(root *Node, width int, set *EmbeddingSet) error {
+	d := root.Depth()
+	span := 1 << d
+	if span > width {
+		return fmt.Errorf("plan: tree depth %d needs width %d > %d", d, span, width)
+	}
+	set.Reset()
+	set.Width = width
+	return decEmbRec(root, d, 0, 0, set)
+}
+
+func decEmbRec(n *Node, d, depth, lo int, set *EmbeddingSet) error {
+	run := 1 << (d - depth)
+	if n.IsLeaf() {
+		if set.index(n.Table) >= 0 {
+			return fmt.Errorf("plan: table %q appears twice", n.Table)
+		}
+		v := set.add(n.Table)
+		for i := lo; i < lo+run; i++ {
+			v[i] = 1
+		}
+		return nil
+	}
+	if err := decEmbRec(n.Left, d, depth+1, lo, set); err != nil {
+		return err
+	}
+	return decEmbRec(n.Right, d, depth+1, lo+run/2, set)
+}
+
+// NodeArena is a reusable allocator for decoded plan trees plus the
+// slot-label scratch of TreeFromEmbeddingSet. Trees returned from the
+// arena are invalidated by its Reset.
+type NodeArena struct {
+	nodes  []Node
+	next   int
+	labels []string
+}
+
+// Reset reclaims every node handed out since the last Reset.
+func (a *NodeArena) Reset() { a.next = 0 }
+
+// new hands out a zeroed node. Growth must never move nodes already
+// handed out (live trees hold pointers into the chunk), so when the
+// current chunk is full a fresh larger chunk replaces it and the full
+// one is simply abandoned to the trees that reference it — this only
+// happens while the arena warms up.
+func (a *NodeArena) new() *Node {
+	if a.next == len(a.nodes) {
+		if len(a.nodes) < cap(a.nodes) {
+			a.nodes = a.nodes[:len(a.nodes)+1]
+		} else {
+			a.nodes = make([]Node, 1, 2*len(a.nodes)+8)
+			a.next = 0
+		}
+	}
+	n := &a.nodes[a.next]
+	a.next++
+	*n = Node{}
+	return n
+}
+
+// TreeFromEmbeddingSet reverts the unique tree encoded by set, with
+// nodes drawn from arena. Semantics match TreeFromEmbeddings; at
+// steady state the decode allocates nothing.
+func TreeFromEmbeddingSet(set *EmbeddingSet, arena *NodeArena) (*Node, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("plan: no embeddings")
+	}
+	maxSlot := -1
+	for i := 0; i < set.Len(); i++ {
+		v := set.Vec(i)
+		any := false
+		for j, x := range v {
+			if x != 0 {
+				any = true
+				if j > maxSlot {
+					maxSlot = j
+				}
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("plan: table %q has empty embedding", set.Tables[i])
+		}
+	}
+	span := 1
+	for span < maxSlot+1 {
+		span *= 2
+	}
+	if span > set.Width {
+		return nil, fmt.Errorf("plan: slot %d beyond width %d", maxSlot, set.Width)
+	}
+	if cap(arena.labels) < span {
+		arena.labels = make([]string, span)
+	}
+	labels := arena.labels[:span]
+	for i := range labels {
+		labels[i] = ""
+	}
+	for i := 0; i < set.Len(); i++ {
+		t := set.Tables[i]
+		v := set.Vec(i)
+		for j := 0; j < span; j++ {
+			if v[j] != 0 {
+				if labels[j] != "" {
+					return nil, fmt.Errorf("plan: slot %d claimed by %q and %q", j, labels[j], t)
+				}
+				labels[j] = t
+			}
+		}
+	}
+	for i, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("plan: slot %d unlabeled", i)
+		}
+	}
+	return buildFromLabels(labels, 0, span, arena)
+}
+
+func buildFromLabels(labels []string, lo, hi int, arena *NodeArena) (*Node, error) {
+	uniform := true
+	for i := lo + 1; i < hi; i++ {
+		if labels[i] != labels[lo] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		n := arena.new()
+		n.Table = labels[lo]
+		n.Scan = SeqScan
+		return n, nil
+	}
+	mid := lo + (hi-lo)/2
+	l, err := buildFromLabels(labels, lo, mid, arena)
+	if err != nil {
+		return nil, err
+	}
+	r, err := buildFromLabels(labels, mid, hi, arena)
+	if err != nil {
+		return nil, err
+	}
+	if !l.IsLeaf() && r.IsLeaf() {
+		// A run crossing the midpoint would be inconsistent: verify
+		// the right side does not continue the left label.
+		if labels[mid-1] == labels[mid] {
+			return nil, fmt.Errorf("plan: label run crosses subtree boundary at slot %d", mid)
+		}
+	}
+	n := arena.new()
+	n.Join = HashJoin
+	n.Left = l
+	n.Right = r
+	return n, nil
+}

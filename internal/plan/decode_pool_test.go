@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sameTree reports structural equality of two plan trees.
+func sameTree(a, b *Node) bool {
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if a.IsLeaf() {
+		return a.Table == b.Table && a.Scan == b.Scan
+	}
+	return a.Join == b.Join && sameTree(a.Left, b.Left) && sameTree(a.Right, b.Right)
+}
+
+// TestPooledCodecMatchesMapCodec asserts the reusable
+// EmbeddingSet/NodeArena codec produces exactly the embeddings and
+// trees of the map-based codec on random trees.
+func TestPooledCodecMatchesMapCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	set := &EmbeddingSet{}
+	arena := &NodeArena{}
+	for trial := 0; trial < 60; trial++ {
+		nt := 2 + rng.Intn(5)
+		tables := make([]string, nt)
+		for i := range tables {
+			tables[i] = fmt.Sprintf("T%d", i+1)
+		}
+		tree := randomTree(rng, tables)
+		width := EmbeddingWidth(nt) * 2 // headroom for unbalanced trees
+
+		want, err := DecodingEmbeddings(tree, width)
+		if err != nil {
+			t.Fatalf("map encode: %v", err)
+		}
+		arena.Reset()
+		if err := DecodingEmbeddingsInto(tree, width, set); err != nil {
+			t.Fatalf("pooled encode: %v", err)
+		}
+		if set.Len() != len(want) {
+			t.Fatalf("pooled encode has %d tables, map has %d", set.Len(), len(want))
+		}
+		for i := 0; i < set.Len(); i++ {
+			wv, ok := want[set.Tables[i]]
+			if !ok {
+				t.Fatalf("pooled encode emitted unknown table %q", set.Tables[i])
+			}
+			gv := set.Vec(i)
+			for j := range wv {
+				if wv[j] != gv[j] {
+					t.Fatalf("table %q slot %d: map %v pooled %v", set.Tables[i], j, wv[j], gv[j])
+				}
+			}
+		}
+
+		wantTree, err := TreeFromEmbeddings(want)
+		if err != nil {
+			t.Fatalf("map decode: %v", err)
+		}
+		gotTree, err := TreeFromEmbeddingSet(set, arena)
+		if err != nil {
+			t.Fatalf("pooled decode: %v", err)
+		}
+		if !sameTree(wantTree, gotTree) {
+			t.Fatalf("trees differ:\nmap:    %s\npooled: %s", wantTree, gotTree)
+		}
+	}
+}
+
+// TestPooledCodecSteadyStateAllocs asserts the warm roundtrip is
+// allocation-free.
+func TestPooledCodecSteadyStateAllocs(t *testing.T) {
+	tree := NewJoin(HashJoin,
+		NewJoin(HashJoin,
+			NewJoin(HashJoin, Leaf("T1", SeqScan), Leaf("T2", SeqScan)),
+			Leaf("T3", SeqScan)),
+		Leaf("T4", SeqScan))
+	set := &EmbeddingSet{}
+	arena := &NodeArena{}
+	round := func() {
+		arena.Reset()
+		if err := DecodingEmbeddingsInto(tree, 8, set); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TreeFromEmbeddingSet(set, arena); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm
+	if allocs := testing.AllocsPerRun(100, round); allocs > 0 {
+		t.Fatalf("warm roundtrip allocates %.1f times", allocs)
+	}
+}
+
+// TestPooledCodecErrors mirrors the map codec's error cases.
+func TestPooledCodecErrors(t *testing.T) {
+	set := &EmbeddingSet{}
+	arena := &NodeArena{}
+	deep := NewJoin(HashJoin,
+		NewJoin(HashJoin, Leaf("A", SeqScan), Leaf("B", SeqScan)),
+		Leaf("C", SeqScan))
+	if err := DecodingEmbeddingsInto(deep, 2, set); err == nil {
+		t.Fatal("want width error")
+	}
+	dup := NewJoin(HashJoin, Leaf("A", SeqScan), Leaf("A", SeqScan))
+	if err := DecodingEmbeddingsInto(dup, 4, set); err == nil {
+		t.Fatal("want duplicate-table error")
+	}
+	if _, err := TreeFromEmbeddingSet(&EmbeddingSet{}, arena); err == nil {
+		t.Fatal("want empty-set error")
+	}
+	// Empty vector for a table.
+	set.Reset()
+	set.Width = 4
+	set.add("A")
+	if _, err := TreeFromEmbeddingSet(set, arena); err == nil {
+		t.Fatal("want empty-embedding error")
+	}
+}

@@ -1,0 +1,256 @@
+// Destination-taking ("Into") variants of the hot forward kernels.
+//
+// These exist for the inference fast path: paired with a Pool they let
+// a forward pass at steady state allocate nothing. Every Into kernel
+// computes its elements with exactly the same expressions, in exactly
+// the same order, as the corresponding allocating kernel (or the
+// forward half of the corresponding ag op), so outputs are bitwise
+// identical — the invariant the no-grad equivalence tests assert with
+// eps = 0.
+//
+// Unless noted otherwise, out must have the correct shape already
+// (Pool.Get hands it out that way) and must not alias an input.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"mtmlf/internal/parallel"
+)
+
+// AddInto computes out = a + b elementwise. out may alias a or b.
+func AddInto(a, b, out *Tensor) {
+	if !a.SameShape(b) || !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v + %v -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// ScaleInto computes out = s * a. out may alias a.
+func ScaleInto(a *Tensor, s float64, out *Tensor) {
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: ScaleInto shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+}
+
+// AddBiasInto broadcasts the 1xN bias row across every row of a [M,N]
+// matrix: out = a + 1·bias. out may alias a. The row-major loop is the
+// same as ag.AddBias's forward.
+func AddBiasInto(a, bias, out *Tensor) {
+	m, n := a.Rows(), a.Cols()
+	if bias.Rows() != 1 || bias.Cols() != n || !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: AddBiasInto shape %v + %v -> %v", a.Shape, bias.Shape, out.Shape))
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		orow := out.Row(i)
+		for j := range row {
+			orow[j] = row[j] + bias.Data[j]
+		}
+	}
+}
+
+// SoftmaxRowsInto applies the row-wise softmax of SoftmaxRows into
+// out. out may alias a.
+func SoftmaxRowsInto(a, out *Tensor) {
+	a.mustMatrix()
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: SoftmaxRowsInto shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			z += e
+		}
+		if z == 0 {
+			z = 1
+		}
+		for j := range orow {
+			orow[j] /= z
+		}
+	}
+}
+
+// LogSoftmaxRowsInto applies the numerically stable row-wise
+// log-softmax (same arithmetic as ag.LogSoftmaxRows's forward). out
+// may alias a.
+func LogSoftmaxRowsInto(a, out *Tensor) {
+	a.mustMatrix()
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: LogSoftmaxRowsInto shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for _, v := range row {
+			z += math.Exp(v - mx)
+		}
+		lz := math.Log(z) + mx
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			orow[j] = v - lz
+		}
+	}
+}
+
+// LayerNormRowsInto normalizes each row of a to zero mean / unit
+// variance and applies the 1xN gain gamma and bias beta, with the
+// exact expressions of ag.LayerNormRows's forward. out may alias a.
+func LayerNormRowsInto(a, gamma, beta *Tensor, eps float64, out *Tensor) {
+	m, n := a.Rows(), a.Cols()
+	if gamma.Cols() != n || beta.Cols() != n || !a.SameShape(out) {
+		panic("tensor: LayerNormRowsInto shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		var va float64
+		for _, v := range row {
+			d := v - mean
+			va += d * d
+		}
+		va /= float64(n)
+		is := 1 / math.Sqrt(va+eps)
+		orow := out.Row(i)
+		for j, v := range row {
+			xh := (v - mean) * is
+			orow[j] = xh*gamma.Data[j] + beta.Data[j]
+		}
+	}
+}
+
+// ReLUInto computes out = max(0, a) elementwise. out may alias a.
+func ReLUInto(a, out *Tensor) {
+	if !a.SameShape(out) {
+		panic("tensor: ReLUInto shape mismatch")
+	}
+	for i, x := range a.Data {
+		if x > 0 {
+			out.Data[i] = x
+		} else {
+			out.Data[i] = 0
+		}
+	}
+}
+
+// GELUInto computes the tanh-approximation GELU elementwise with the
+// same expression as ag.GELU. out may alias a.
+func GELUInto(a, out *Tensor) {
+	if !a.SameShape(out) {
+		panic("tensor: GELUInto shape mismatch")
+	}
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range a.Data {
+		out.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+}
+
+// TanhInto computes out = tanh(a) elementwise. out may alias a.
+func TanhInto(a, out *Tensor) {
+	if !a.SameShape(out) {
+		panic("tensor: TanhInto shape mismatch")
+	}
+	for i, x := range a.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+}
+
+// SigmoidInto computes the logistic function elementwise (same
+// expression as ag.Sigmoid). out may alias a.
+func SigmoidInto(a, out *Tensor) {
+	if !a.SameShape(out) {
+		panic("tensor: SigmoidInto shape mismatch")
+	}
+	for i, x := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+// MatMulInto computes out = a @ b. out must be [m,n] and zeroed (the
+// kernel accumulates); Pool.Get satisfies both. out must not alias a
+// or b.
+func MatMulInto(a, b, out *Tensor) {
+	a.mustMatrix()
+	b.mustMatrix()
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto %v @ %v -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	matMulInto(a.Data, b.Data, out.Data, m, k, n)
+}
+
+// MatMulTransBInto computes out = a @ b^T for a [m,k], b [n,k]. out
+// must be [m,n] and must not alias the inputs (zeroing is not needed:
+// this kernel overwrites).
+func MatMulTransBInto(a, b, out *Tensor) {
+	a.mustMatrix()
+	b.mustMatrix()
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto %v @ %v^T -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	if m*k*n < serialFlops {
+		matMulTransBRows(a.Data, b.Data, out.Data, k, n, 0, m)
+		return
+	}
+	parallel.For(m, rowGrain(k*n), func(i0, i1 int) {
+		matMulTransBRows(a.Data, b.Data, out.Data, k, n, i0, i1)
+	})
+}
+
+// MatMulBatchInto computes outs[i] = as[i] @ bs[i] for every triple on
+// the worker pool; the pooled-destination twin of MatMulBatch. Each
+// outs[i] must be zeroed (the kernel accumulates).
+func MatMulBatchInto(as, bs, outs []*Tensor) {
+	if len(as) != len(bs) || len(as) != len(outs) {
+		panic(fmt.Sprintf("tensor: MatMulBatchInto length mismatch %d/%d/%d", len(as), len(bs), len(outs)))
+	}
+	parallel.For(len(as), 1, func(s, e int) {
+		for i := s; i < e; i++ {
+			MatMulInto(as[i], bs[i], outs[i])
+		}
+	})
+}
+
+// MatMulTransBBatchInto computes outs[i] = as[i] @ bs[i]^T for every
+// triple on the worker pool; see MatMulBatchInto.
+func MatMulTransBBatchInto(as, bs, outs []*Tensor) {
+	if len(as) != len(bs) || len(as) != len(outs) {
+		panic(fmt.Sprintf("tensor: MatMulTransBBatchInto length mismatch %d/%d/%d", len(as), len(bs), len(outs)))
+	}
+	parallel.For(len(as), 1, func(s, e int) {
+		for i := s; i < e; i++ {
+			MatMulTransBInto(as[i], bs[i], outs[i])
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Buffer pooling for the inference fast path.
+//
+// A Pool is an arena of reusable tensors indexed by element count:
+// Get hands out a zeroed tensor of the requested shape, and Reset
+// makes every tensor handed out since the last Reset reusable again
+// without freeing it. At steady state (after the first generation has
+// populated each size class) a forward pass served from a Pool
+// allocates nothing.
+//
+// Ownership rules (see README "Inference path"):
+//
+//   - A pooled tensor is valid from its Get until the next Reset of
+//     the pool that produced it. Nothing that must outlive the Reset
+//     may point into a pooled tensor — copy it out (Clone) first.
+//   - Pools are NOT safe for concurrent use. Each inference session
+//     (one ag.Eval) owns one Pool; concurrent sessions get their own.
+package tensor
+
+// Pool is a size-indexed tensor arena. The zero value is not usable;
+// construct with NewPool.
+type Pool struct {
+	classes map[int]*poolClass
+	// live counts Gets since the last Reset (exported via Live for
+	// tests and leak diagnostics).
+	live int
+}
+
+// poolClass is the arena for one element count: bufs[:next] are handed
+// out, bufs[next:] are free.
+type poolClass struct {
+	bufs []*Tensor
+	next int
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{classes: map[int]*poolClass{}}
+}
+
+// Get returns a zeroed tensor of the given shape, reusing a free
+// buffer of the same element count when one exists. The tensor is
+// owned by the pool: it becomes invalid at the next Reset.
+func (p *Pool) Get(shape ...int) *Tensor {
+	t, reused := p.get(shape)
+	if reused {
+		for i := range t.Data {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// GetUninit is Get without the zeroing pass: the contents of a reused
+// buffer are whatever its previous user left there. Only for callers
+// that overwrite every element before reading any (all the Into
+// kernels except the accumulating matmuls qualify) — it saves one
+// full memory walk per op on the hot serving path.
+func (p *Pool) GetUninit(shape ...int) *Tensor {
+	t, _ := p.get(shape)
+	return t
+}
+
+// get hands out a buffer and reports whether it was reused (and so
+// may hold stale data).
+func (p *Pool) get(shape []int) (t *Tensor, reused bool) {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: Pool.Get negative dimension")
+		}
+		n *= s
+	}
+	p.live++
+	c := p.classes[n]
+	if c == nil {
+		c = &poolClass{}
+		p.classes[n] = c
+	}
+	if c.next < len(c.bufs) {
+		t = c.bufs[c.next]
+		c.next++
+		t.setShape(shape)
+		return t, true
+	}
+	t = New(shape...)
+	c.bufs = append(c.bufs, t)
+	c.next++
+	return t, false
+}
+
+// setShape points t at a new shape without allocating when the rank
+// matches the previous use of the buffer.
+func (t *Tensor) setShape(shape []int) {
+	if len(t.Shape) == len(shape) {
+		copy(t.Shape, shape)
+		return
+	}
+	t.Shape = append([]int(nil), shape...)
+}
+
+// Reset returns every tensor handed out since the last Reset to the
+// free state. Previously returned tensors must no longer be used.
+func (p *Pool) Reset() {
+	for _, c := range p.classes {
+		c.next = 0
+	}
+	p.live = 0
+}
+
+// Live reports how many tensors are currently handed out.
+func (p *Pool) Live() int { return p.live }
