@@ -2,9 +2,9 @@
 # targets locally before pushing.
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen
+RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke ci
 
 all: build
 
@@ -47,4 +47,10 @@ bench-infer:
 bench-json:
 	$(GO) run ./cmd/mtmlf-bench -json BENCH_PR2.json
 
-ci: build vet fmt-check test race bench-smoke bench-infer
+# End-to-end serving check: train a tiny full-model checkpoint, boot
+# mtmlf-serve on a random port, curl every endpoint (including the
+# typed-error path).
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke

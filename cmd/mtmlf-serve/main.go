@@ -1,0 +1,102 @@
+// Command mtmlf-serve is the model server: it loads a versioned
+// full-model checkpoint written by mtmlf-train -save (shared stack +
+// task heads + join-order decoder + per-database featurizer), mounts
+// the concurrent serving engine of internal/serve over the no-grad
+// fast path, and exposes HTTP/JSON endpoints:
+//
+//	POST /estimate/card   cardinality of every plan node
+//	POST /estimate/cost   cost of every plan node
+//	POST /joinorder       legality-constrained beam-search join order
+//	GET  /healthz         liveness + served-database identity
+//	GET  /statsz          QPS, p50/p99 latency, batching + pool reuse
+//	GET  /example         a valid random request body to POST back
+//
+// The -seed/-scale flags must match the training run: the featurizer
+// weights are tied to the database the checkpoint was trained on, and
+// the loader verifies the table list before serving.
+//
+// Usage:
+//
+//	mtmlf-train -queries 200 -save model.ckpt
+//	mtmlf-serve -checkpoint model.ckpt -addr 127.0.0.1:8080
+//	curl -s localhost:8080/example | curl -s -d @- localhost:8080/estimate/card
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/serve"
+	"mtmlf/internal/tensor"
+	"mtmlf/internal/workload"
+)
+
+func main() {
+	ckpt := flag.String("checkpoint", "", "full-model checkpoint written by mtmlf-train -save (required)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	seed := flag.Int64("seed", 1, "database seed; must match the training run")
+	scale := flag.Float64("scale", 0.06, "database scale; must match the training run")
+	sessions := flag.Int("sessions", 0, "concurrent inference sessions (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("maxbatch", 8, "max requests fused per micro-batch (1 disables batching)")
+	window := flag.Duration("window", 200*time.Microsecond, "micro-batch fill window")
+	workers := flag.Int("workers", 0, "tensor-kernel worker pool size (0 = all cores)")
+	flag.Parse()
+
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "mtmlf-serve: -checkpoint is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tensor.SetParallelism(*workers)
+
+	db := datagen.SyntheticIMDB(*seed, *scale)
+	f, err := os.Open(*ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, info, err := mtmlf.LoadModel(f, db)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded checkpoint %s: v%d, db %q (%d tables), dim %d",
+		*ckpt, info.Version, info.DBName, len(info.Tables), info.Config.Dim)
+
+	engine, err := serve.NewEngine(model, serve.Options{
+		Sessions:    *sessions,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	// The example generator gives clients (and the smoke test) valid
+	// request bodies without knowing the synthetic schema.
+	gen := workload.NewGenerator(db, *seed+1000)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler: serve.NewHandler(engine, gen),
+		// Slow-client guards; request bodies are additionally capped
+		// by the handler (http.MaxBytesReader).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	// Logged (not just printed) so supervisors and the smoke script
+	// can parse the bound port when -addr ends in :0.
+	log.Printf("serving on http://%s", ln.Addr())
+	log.Fatal(srv.Serve(ln))
+}

@@ -1,13 +1,21 @@
 // Command mtmlf-train trains an MTMLF-QO model on the synthetic IMDB
 // database, reports held-out q-errors and join-order quality, and can
-// save / load the transferable (S)+(T) parameters — the artifact the
-// paper's cloud provider would ship to users (Section 2.3).
+// save / load model checkpoints — the artifact the paper's cloud
+// provider would ship to users (Section 2.3).
 //
 // Usage:
 //
 //	mtmlf-train [-queries 200] [-epochs 6] [-scale 0.06] [-seed 1]
-//	            [-save shared.gob] [-load shared.gob] [-seqloss]
-//	            [-workers 0] [-batch 1]
+//	            [-save model.ckpt] [-load model.ckpt] [-shared-only]
+//	            [-seqloss] [-workers 0] [-batch 1]
+//
+// -save writes a versioned FULL-model checkpoint: the shared stack,
+// both task heads, the join-order decoder, and the per-database
+// featurizer — everything mtmlf-serve needs. -shared-only restricts
+// the save to the transferable (S)+(T) modules, the paper's
+// cross-database transfer artifact (the featurizer of a new database
+// pretrains locally). -load accepts either kind and loads what the
+// file holds.
 //
 // -workers sizes the shared worker pool (0 = all cores) used by the
 // tensor kernels and the data-parallel training loop; -batch sets the
@@ -25,7 +33,6 @@ import (
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
-	"mtmlf/internal/nn"
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
@@ -35,8 +42,9 @@ func main() {
 	epochs := flag.Int("epochs", 6, "joint training epochs")
 	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor")
 	seed := flag.Int64("seed", 1, "random seed")
-	savePath := flag.String("save", "", "save trained (S)+(T) parameters to this file")
-	loadPath := flag.String("load", "", "load pre-trained (S)+(T) parameters before training")
+	savePath := flag.String("save", "", "save a trained model checkpoint to this file")
+	loadPath := flag.String("load", "", "load a checkpoint (full or shared-only) before training")
+	sharedOnly := flag.Bool("shared-only", false, "save only the transferable (S)+(T) modules (cross-DB transfer artifact)")
 	seqLoss := flag.Bool("seqloss", false, "use the Equation 3 sequence-level join-order loss")
 	workers := flag.Int("workers", 0, "worker pool size for kernels and data-parallel training (0 = all cores)")
 	batch := flag.Int("batch", 1, "minibatch size (examples averaged per Adam step)")
@@ -48,22 +56,37 @@ func main() {
 	fmt.Printf("database: %d tables, %d join edges (%d workers)\n", len(db.Tables), len(db.Edges), tensor.Parallelism())
 
 	model := mtmlf.NewModel(mtmlf.DefaultConfig(), db, *seed)
+	loadedFull := false
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := nn.Load(f, model.Shared.Params()); err != nil {
+		info, err := mtmlf.Load(f, model)
+		f.Close()
+		if err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
-		fmt.Printf("loaded shared parameters from %s\n", *loadPath)
+		loadedFull = !info.SharedOnly
+		kind := "full-model"
+		if info.SharedOnly {
+			kind = "shared-only"
+		}
+		fmt.Printf("loaded %s checkpoint v%d from %s (trained on db %q)\n",
+			kind, info.Version, *loadPath, info.DBName)
 	}
 
 	gen := workload.NewGenerator(db, *seed+1)
 	wcfg := workload.DefaultConfig()
-	fmt.Println("pre-training per-table encoders (F module)...")
-	model.Feat.PretrainAll(gen, 40, 2, wcfg)
+	if loadedFull {
+		// The checkpoint already holds trained featurizer weights for
+		// this database; repeating the pre-training would overwrite
+		// them.
+		fmt.Println("skipping featurizer pre-training (full checkpoint loaded)")
+	} else {
+		fmt.Println("pre-training per-table encoders (F module)...")
+		model.Feat.PretrainAll(gen, 40, 2, wcfg)
+	}
 
 	fmt.Printf("generating and labeling %d queries...\n", *queries)
 	all := gen.Generate(*queries, wcfg)
@@ -99,11 +122,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := nn.Save(f, model.Shared.Params()); err != nil {
+		if *sharedOnly {
+			err = mtmlf.SaveShared(f, model)
+		} else {
+			err = mtmlf.Save(f, model)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
-		fmt.Printf("saved shared parameters to %s\n", *savePath)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if *sharedOnly {
+			fmt.Printf("saved shared-only (transfer) checkpoint to %s\n", *savePath)
+		} else {
+			fmt.Printf("saved full-model checkpoint to %s\n", *savePath)
+		}
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -6,13 +6,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
+	"slices"
 
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/serve"
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
@@ -83,4 +86,41 @@ func main() {
 	if s.N == 0 {
 		log.Fatal("no test queries")
 	}
+
+	// Ship the model: a full checkpoint (shared stack + heads +
+	// join-order decoder + featurizer) round-trips bitwise, and the
+	// concurrent serving engine answers from the restored copy with
+	// the exact same numbers.
+	fmt.Println("\nsaving full-model checkpoint and serving from the restored copy...")
+	var ckpt bytes.Buffer
+	if err := mtmlf.Save(&ckpt, model); err != nil {
+		log.Fatal(err)
+	}
+	restored, info, err := mtmlf.LoadModel(bytes.NewReader(ckpt.Bytes()), db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: v%d, %d bytes, db %q\n", info.Version, ckpt.Len(), info.DBName)
+
+	engine, err := serve.NewEngine(restored, serve.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	est, err := engine.EstimateCard(lq.Q, lq.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if est.Root != cardHat {
+		log.Fatalf("served estimate %v != in-memory estimate %v", est.Root, cardHat)
+	}
+	served, err := engine.JoinOrder(lq.Q, lq.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !slices.Equal(served.Order, order) {
+		log.Fatalf("served join order %v != in-memory order %v", served.Order, order)
+	}
+	fmt.Printf("served CardEst %.1f and join order %v — bitwise identical to the in-memory model\n",
+		est.Root, served.Order)
 }

@@ -18,6 +18,9 @@
 // evaluator's pool and die at the next Reset. An Eval is single-
 // goroutine; concurrent inference sessions each acquire their own
 // (AcquireEval / ReleaseEval, or the NoGrad convenience wrapper).
+// DESIGN.md "Session ownership" spells out the full serving-layer
+// contract (session = one Eval, session lifetime = batch lifetime,
+// copy results out before release); internal/serve is built on it.
 package ag
 
 import (

@@ -1,0 +1,230 @@
+// Full-model checkpoints.
+//
+// The paper's deployment story (Section 2.3) ships a pretrained model
+// as an artifact: the cloud provider trains, the DBMS loads and
+// serves. nn.Save over Shared.Params() is not that artifact — it
+// covers the transferable (S)+(T) stack but silently drops the
+// per-database featurizer (F) weights, so a "loaded" model serves
+// from randomly initialized table encoders. The checkpoint format
+// here persists everything a serving process needs:
+//
+//	header  — magic + version (nn.WriteHeader)
+//	meta    — the Config echo, the database identity (name, table
+//	          list, per-table row counts), and whether the file is
+//	          shared-only
+//	params  — one shape-validated section: Model.Params() (Shared
+//	          then Featurizer) for full files, Shared.Params() for
+//	          shared-only files
+//
+// Loads are strict: wrong magic, future version, a different Config,
+// or a mismatched table list all fail with a descriptive error before
+// any weight is touched. Round trips are bitwise (gob transmits
+// float64 bit patterns verbatim), which the serving tests rely on:
+// save → load → serve must produce the exact floats of the in-memory
+// model.
+//
+// SaveShared writes a shared-only checkpoint — the paper's transfer
+// artifact, loadable into a model for a *different* database (whose
+// featurizer then pretrains locally, Algorithm 1 line 4).
+package mtmlf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+)
+
+const (
+	// CheckpointMagic identifies an MTMLF checkpoint stream.
+	CheckpointMagic = "MTMLF-CKPT"
+	// CheckpointVersion is the current (and maximum readable) format
+	// version.
+	CheckpointVersion = 1
+)
+
+// CheckpointInfo describes a checkpoint's provenance, echoed into the
+// file at save time and returned (validated) by Load.
+type CheckpointInfo struct {
+	// Version is the on-disk format version.
+	Version int
+	// Config is the architecture the weights were trained with; Load
+	// requires it to equal the destination model's Config.
+	Config Config
+	// DBName, Tables, and TableRows identify the database *instance*
+	// the featurizer section was trained against: the synthetic
+	// generators produce the same table names at every seed and scale,
+	// so the per-table row counts are the fingerprint that catches a
+	// serve process regenerating a different database than the one
+	// the checkpoint was trained on (informational for shared-only
+	// files).
+	DBName    string
+	Tables    []string
+	TableRows []int
+	// SharedOnly marks a transfer checkpoint: (S)+(T) weights only,
+	// no featurizer section.
+	SharedOnly bool
+}
+
+// checkpointMeta is the on-wire metadata record (Version travels in
+// the header, not here).
+type checkpointMeta struct {
+	Config     Config
+	DBName     string
+	Tables     []string
+	TableRows  []int
+	SharedOnly bool
+}
+
+// Save writes a full-model checkpoint: Shared (S)+(T) parameters plus
+// the per-database Featurizer (F) parameters.
+func Save(w io.Writer, m *Model) error {
+	return save(w, m, false)
+}
+
+// SaveShared writes a shared-only checkpoint — the cross-database
+// transfer artifact of Section 2.3. Loading it restores (S)+(T) and
+// leaves the destination model's featurizer untouched.
+func SaveShared(w io.Writer, m *Model) error {
+	return save(w, m, true)
+}
+
+func save(w io.Writer, m *Model, sharedOnly bool) error {
+	enc := gob.NewEncoder(w)
+	if err := nn.WriteHeader(enc, CheckpointMagic, CheckpointVersion); err != nil {
+		return fmt.Errorf("mtmlf: write checkpoint header: %w", err)
+	}
+	db := m.Feat.DB
+	meta := checkpointMeta{
+		Config:     m.Shared.Cfg,
+		DBName:     db.Name,
+		Tables:     db.TableNames(),
+		TableRows:  tableRows(db),
+		SharedOnly: sharedOnly,
+	}
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("mtmlf: write checkpoint meta: %w", err)
+	}
+	// One parameter section: the full Model.Params() order (Shared
+	// then Featurizer), or just Shared.Params() for transfer files.
+	params := m.Params()
+	if sharedOnly {
+		params = m.Shared.Params()
+	}
+	if err := nn.EncodeParams(enc, params); err != nil {
+		return fmt.Errorf("mtmlf: write parameters: %w", err)
+	}
+	return nil
+}
+
+func tableRows(db *sqldb.DB) []int {
+	out := make([]int, len(db.Tables))
+	for i, t := range db.Tables {
+		out[i] = t.NumRows()
+	}
+	return out
+}
+
+// Load reads a checkpoint into an existing model. The checkpoint's
+// Config must equal the model's; for full checkpoints the model's
+// database table list must match the one the featurizer was trained
+// on (the featurizer parameter order is the table order). Shared-only
+// checkpoints load (S)+(T) and skip the featurizer — that is the
+// transfer path, so the table lists may differ.
+func Load(r io.Reader, m *Model) (*CheckpointInfo, error) {
+	dec := gob.NewDecoder(r)
+	info, err := readMeta(dec)
+	if err != nil {
+		return nil, err
+	}
+	if info.Config != m.Shared.Cfg {
+		return nil, fmt.Errorf("mtmlf: checkpoint config %+v does not match model config %+v", info.Config, m.Shared.Cfg)
+	}
+	params := m.Shared.Params()
+	if !info.SharedOnly {
+		if err := sameDatabase(info, m.Feat.DB); err != nil {
+			return nil, err
+		}
+		params = m.Params()
+	}
+	if err := nn.DecodeParams(dec, params); err != nil {
+		return nil, fmt.Errorf("mtmlf: load parameters: %w", err)
+	}
+	return info, nil
+}
+
+// LoadModel reads a checkpoint and constructs a ready-to-serve model
+// for db using the checkpoint's own Config — the entry point for a
+// serving process, which knows the database but not the architecture
+// the weights were trained with. Returns an error for shared-only
+// checkpoints: a served model needs trained featurizer weights, and a
+// transfer checkpoint by definition has none for this database.
+func LoadModel(r io.Reader, db *sqldb.DB) (*Model, *CheckpointInfo, error) {
+	dec := gob.NewDecoder(r)
+	info, err := readMeta(dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.SharedOnly {
+		return nil, nil, fmt.Errorf("mtmlf: checkpoint is shared-only (transfer artifact); serving needs a full-model checkpoint")
+	}
+	if err := sameDatabase(info, db); err != nil {
+		return nil, nil, err
+	}
+	m := NewModel(info.Config, db, 0)
+	if err := nn.DecodeParams(dec, m.Params()); err != nil {
+		return nil, nil, fmt.Errorf("mtmlf: load parameters: %w", err)
+	}
+	return m, info, nil
+}
+
+// readMeta consumes the header and metadata records.
+func readMeta(dec *gob.Decoder) (*CheckpointInfo, error) {
+	v, err := nn.ReadHeader(dec, CheckpointMagic, CheckpointVersion)
+	if err != nil {
+		return nil, fmt.Errorf("mtmlf: not an MTMLF checkpoint: %w", err)
+	}
+	var meta checkpointMeta
+	if err := dec.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("mtmlf: read checkpoint meta: %w", err)
+	}
+	return &CheckpointInfo{
+		Version:    v,
+		Config:     meta.Config,
+		DBName:     meta.DBName,
+		Tables:     meta.Tables,
+		TableRows:  meta.TableRows,
+		SharedOnly: meta.SharedOnly,
+	}, nil
+}
+
+// sameDatabase verifies the destination database is the instance the
+// featurizer section was trained on: same table list (the featurizer
+// parameter order) AND same per-table row counts (the synthetic
+// generators keep table names fixed across seeds and scales, so a
+// serve process started with the wrong -seed/-scale would otherwise
+// load cleanly and serve featurizer weights fit to different data).
+func sameDatabase(info *CheckpointInfo, db *sqldb.DB) error {
+	names := db.TableNames()
+	if len(info.Tables) != len(names) {
+		return fmt.Errorf("mtmlf: checkpoint trained on %d tables, model database has %d", len(info.Tables), len(names))
+	}
+	for i := range info.Tables {
+		if info.Tables[i] != names[i] {
+			return fmt.Errorf("mtmlf: checkpoint table %d is %q, model database has %q", i, info.Tables[i], names[i])
+		}
+	}
+	rows := tableRows(db)
+	if len(info.TableRows) != len(rows) {
+		return fmt.Errorf("mtmlf: checkpoint lacks per-table row counts (%d for %d tables)", len(info.TableRows), len(rows))
+	}
+	for i := range rows {
+		if info.TableRows[i] != rows[i] {
+			return fmt.Errorf("mtmlf: checkpoint table %q has %d rows, model database has %d (database seed/scale mismatch?)",
+				info.Tables[i], info.TableRows[i], rows[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package mtmlf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/nn"
+)
+
+// TestFullCheckpointRoundTripBitwise is the regression test for the
+// Shared-only save/load bug: train a model (featurizer pretraining
+// included), save a full checkpoint, load it into a model built from
+// a DIFFERENT seed — so every weight starts different — and require
+// bitwise identical cardinality, cost, and join-order outputs. The
+// old nn.Save(Shared.Params()) path fails this: the restored
+// featurizer stays random, so the (F) embeddings (and everything
+// downstream) diverge.
+func TestFullCheckpointRoundTripBitwise(t *testing.T) {
+	m, qs := tinySetup(t, 61, 6)
+	m.TrainJoint(qs, TrainOptions{Epochs: 1, Seed: 62})
+
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewModel(m.Shared.Cfg, m.Feat.DB, 999)
+	info, err := Load(bytes.NewReader(buf.Bytes()), restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != CheckpointVersion || info.SharedOnly {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.DBName != m.Feat.DB.Name {
+		t.Fatalf("DBName %q, want %q", info.DBName, m.Feat.DB.Name)
+	}
+
+	for _, lq := range qs {
+		a, b := m.EstimateNodeCards(lq), restored.EstimateNodeCards(lq)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("card[%d]: %v != %v (not bitwise)", i, a[i], b[i])
+			}
+		}
+		ac, bc := m.EstimateNodeCosts(lq), restored.EstimateNodeCosts(lq)
+		for i := range ac {
+			if ac[i] != bc[i] {
+				t.Fatalf("cost[%d]: %v != %v (not bitwise)", i, ac[i], bc[i])
+			}
+		}
+		ao := m.InferJoinOrder(lq.Q, lq.Plan)
+		bo := restored.InferJoinOrder(lq.Q, lq.Plan)
+		if len(ao) != len(bo) {
+			t.Fatalf("join order lengths %d != %d", len(ao), len(bo))
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("join order[%d]: %q != %q", i, ao[i], bo[i])
+			}
+		}
+	}
+}
+
+// TestSharedOnlyCheckpointSkipsFeaturizer: the transfer escape hatch
+// restores (S)+(T) and leaves the destination featurizer untouched.
+func TestSharedOnlyCheckpointSkipsFeaturizer(t *testing.T) {
+	m, qs := tinySetup(t, 63, 3)
+	m.TrainJoint(qs, TrainOptions{Epochs: 1, Seed: 64})
+
+	var buf bytes.Buffer
+	if err := SaveShared(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewModel(m.Shared.Cfg, m.Feat.DB, 777)
+	featBefore := restored.Feat.Params()[0].T.Data[0]
+	info, err := Load(bytes.NewReader(buf.Bytes()), restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SharedOnly {
+		t.Fatal("info.SharedOnly = false")
+	}
+	if restored.Feat.Params()[0].T.Data[0] != featBefore {
+		t.Fatal("shared-only load modified featurizer weights")
+	}
+	sa, sb := m.Shared.Params(), restored.Shared.Params()
+	for i := range sa {
+		for j := range sa[i].T.Data {
+			if sa[i].T.Data[j] != sb[i].T.Data[j] {
+				t.Fatalf("shared param %d differs after load", i)
+			}
+		}
+	}
+	// A shared-only checkpoint must be rejected by the serving loader.
+	if _, _, err := LoadModel(bytes.NewReader(buf.Bytes()), m.Feat.DB); err == nil {
+		t.Fatal("LoadModel accepted a shared-only checkpoint")
+	}
+}
+
+// TestLoadModelReconstructsConfig: the serving entry point builds the
+// model from the checkpoint's config echo and matches the source
+// model exactly.
+func TestLoadModelReconstructsConfig(t *testing.T) {
+	m, qs := tinySetup(t, 65, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	restored, info, err := LoadModel(bytes.NewReader(buf.Bytes()), m.Feat.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Config != m.Shared.Cfg {
+		t.Fatalf("config echo %+v != %+v", info.Config, m.Shared.Cfg)
+	}
+	lq := qs[0]
+	a, b := m.EstimateNodeCards(lq), restored.EstimateNodeCards(lq)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("card[%d] differs", i)
+		}
+	}
+}
+
+// TestCheckpointRejections covers the typed failure modes: foreign
+// magic, future version, config drift, table-list drift, and the
+// plain nn format without a header.
+func TestCheckpointRejections(t *testing.T) {
+	m, _ := tinySetup(t, 66, 1)
+
+	t.Run("wrong magic", func(t *testing.T) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := nn.WriteHeader(enc, "NOT-MTMLF", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), m); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want magic error, got %v", err)
+		}
+	})
+
+	t.Run("future version", func(t *testing.T) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := nn.WriteHeader(enc, CheckpointMagic, CheckpointVersion+1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), m); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+
+	t.Run("headerless legacy stream", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := nn.Save(&buf, m.Shared.Params()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), m); err == nil {
+			t.Fatal("accepted a headerless parameter stream")
+		}
+	})
+
+	t.Run("config mismatch", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		cfg := m.Shared.Cfg
+		cfg.Blocks++
+		other := NewModel(cfg, m.Feat.DB, 1)
+		if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil || !strings.Contains(err.Error(), "config") {
+			t.Fatalf("want config error, got %v", err)
+		}
+	})
+
+	t.Run("table mismatch", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		db2 := tinyDB()
+		db2.Tables = db2.Tables[:len(db2.Tables)-1]
+		other := NewModel(m.Shared.Cfg, db2, 1)
+		if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil || !strings.Contains(err.Error(), "table") {
+			t.Fatalf("want table error, got %v", err)
+		}
+	})
+
+	t.Run("row-count mismatch (seed/scale drift)", func(t *testing.T) {
+		// The synthetic generators keep table names fixed across seeds
+		// and scales; a database regenerated with different parameters
+		// must be caught by the per-table row-count fingerprint, not
+		// load cleanly with featurizer weights fit to different data.
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		db2 := datagen.SyntheticIMDB(5, 0.04) // tinyDB is seed 5, scale 0.05
+		other := NewModel(m.Shared.Cfg, db2, 1)
+		if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil || !strings.Contains(err.Error(), "rows") {
+			t.Fatalf("want row-count error, got %v", err)
+		}
+		if _, _, err := LoadModel(bytes.NewReader(buf.Bytes()), db2); err == nil || !strings.Contains(err.Error(), "rows") {
+			t.Fatalf("LoadModel: want row-count error, got %v", err)
+		}
+	})
+}

@@ -109,19 +109,9 @@ func (m *Model) InferJoinOrder(q *sqldb.Query, p *plan.Node) []string {
 	e := ag.AcquireEval()
 	defer ag.ReleaseEval(e)
 	rep := m.RepresentInfer(e, q, p)
-	res := m.Shared.JO.BeamSearchTensor(rep.Memory, q, m.Shared.Cfg.BeamWidth, true)
-	if len(res) == 0 {
+	best, ok := BestBeam(m.Shared.JO.BeamSearchTensor(rep.Memory, q, m.Shared.Cfg.BeamWidth, true))
+	if !ok {
 		return nil
 	}
-	best := res[0]
-	for _, r := range res[1:] {
-		if r.LogProb > best.LogProb {
-			best = r
-		}
-	}
-	out := make([]string, len(best.Positions))
-	for i, pos := range best.Positions {
-		out[i] = rep.Tables[pos]
-	}
-	return out
+	return best.OrderTables(rep.Tables)
 }

@@ -202,6 +202,34 @@ type BeamSearchResult struct {
 	Legal     bool
 }
 
+// BestBeam returns the highest log-probability hypothesis; ok is
+// false for an empty result set (under the constrained search, a
+// disconnected join graph). Every consumer of a beam search — the
+// inference entry points here and the serving engine — picks its
+// winner through this one function.
+func BestBeam(res []BeamSearchResult) (best BeamSearchResult, ok bool) {
+	if len(res) == 0 {
+		return BeamSearchResult{}, false
+	}
+	best = res[0]
+	for _, r := range res[1:] {
+		if r.LogProb > best.LogProb {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// OrderTables maps the hypothesis' memory positions to table names
+// using the memory row order (Representation/InferRep .Tables).
+func (r BeamSearchResult) OrderTables(tables []string) []string {
+	out := make([]string, len(r.Positions))
+	for i, pos := range r.Positions {
+		out[i] = tables[pos]
+	}
+	return out
+}
+
 // BeamSearch decodes a join order with the legality-pruned beam search
 // of Section 4.3: at each timestamp only tables sharing a join key
 // with the joined prefix are expanded, so every returned top candidate
@@ -426,19 +454,9 @@ func logAdd(a, b float64) float64 {
 // representation using constrained beam search; the Section 4.3
 // guarantee holds: the returned order is always executable.
 func (m *Model) JoinOrderFor(q *sqldb.Query, rep *Representation) []string {
-	res := m.Shared.JO.BeamSearch(rep.Memory, q, m.Shared.Cfg.BeamWidth, true)
-	if len(res) == 0 {
+	best, ok := BestBeam(m.Shared.JO.BeamSearch(rep.Memory, q, m.Shared.Cfg.BeamWidth, true))
+	if !ok {
 		return nil
 	}
-	best := res[0]
-	for _, r := range res[1:] {
-		if r.LogProb > best.LogProb {
-			best = r
-		}
-	}
-	out := make([]string, len(best.Positions))
-	for i, p := range best.Positions {
-		out[i] = rep.Tables[p]
-	}
-	return out
+	return best.OrderTables(rep.Tables)
 }

@@ -147,6 +147,14 @@ func NewModel(cfg Config, db *sqldb.DB, seed int64) *Model {
 	}
 }
 
+// Params returns every parameter of the model — the transferable
+// Shared set followed by the database-specific Featurizer set, in the
+// stable order the full-model checkpoint (checkpoint.go) persists.
+func (m *Model) Params() []*ag.Value {
+	out := m.Shared.Params()
+	return append(out, m.Feat.Params()...)
+}
+
 // Representation is the output of the (F)+(S) pipeline for one query
 // plan: the shared representation of every plan node plus the leaf
 // (single-table) rows Trans_JO consumes as its memory.
@@ -244,7 +252,7 @@ func (m *Model) EstimateNodeCards(lq *workload.LabeledQuery) []float64 {
 	e := ag.AcquireEval()
 	defer ag.ReleaseEval(e)
 	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
-	return expClamp(m.PredictLogCardsInfer(e, rep).Data)
+	return ExpClamp(m.PredictLogCardsInfer(e, rep).Data)
 }
 
 // EstimateNodeCosts runs inference and returns per-node cost estimates.
@@ -252,7 +260,7 @@ func (m *Model) EstimateNodeCosts(lq *workload.LabeledQuery) []float64 {
 	e := ag.AcquireEval()
 	defer ag.ReleaseEval(e)
 	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
-	return expClamp(m.PredictLogCostsInfer(e, rep).Data)
+	return ExpClamp(m.PredictLogCostsInfer(e, rep).Data)
 }
 
 // EstimateRoot returns the root cardinality and cost estimates in one
@@ -261,12 +269,16 @@ func (m *Model) EstimateRoot(lq *workload.LabeledQuery) (card, costv float64) {
 	e := ag.AcquireEval()
 	defer ag.ReleaseEval(e)
 	rep := m.RepresentInfer(e, lq.Q, lq.Plan)
-	cards := expClamp(m.PredictLogCardsInfer(e, rep).Data)
-	costs := expClamp(m.PredictLogCostsInfer(e, rep).Data)
+	cards := ExpClamp(m.PredictLogCardsInfer(e, rep).Data)
+	costs := ExpClamp(m.PredictLogCostsInfer(e, rep).Data)
 	return cards[len(cards)-1], costs[len(costs)-1]
 }
 
-func expClamp(logs []float64) []float64 {
+// ExpClamp maps log-space head outputs to estimates: exponentiated
+// with the exponent clamped (an untrained model cannot overflow) and
+// floored at 1. Exported for the serving layer, whose fused
+// micro-batch path must clamp exactly like the serial estimators.
+func ExpClamp(logs []float64) []float64 {
 	out := make([]float64, len(logs))
 	for i, v := range logs {
 		// Clamp the exponent so an untrained model cannot overflow.

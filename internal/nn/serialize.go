@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
 
 	"mtmlf/internal/ag"
 )
@@ -14,23 +15,58 @@ type paramBlob struct {
 	Data  []float64
 }
 
-// Save writes the parameters (in order) to w using encoding/gob. Load
-// with the same architecture restores them; this is how pre-trained
-// MTMLF (S)+(T) modules are shipped to a "new DB" in the paper's
-// cloud-service workflow (Section 2.3).
-func Save(w io.Writer, params []*ag.Value) error {
+// header is the on-wire checkpoint preamble. Magic identifies the
+// artifact kind (so a truncated or foreign file fails loudly instead
+// of gob-decoding into garbage), Version gates format evolution.
+type header struct {
+	Magic   string
+	Version int
+}
+
+// WriteHeader writes a magic/version preamble to a gob stream.
+// Higher-level checkpoint formats (internal/mtmlf's full-model
+// checkpoint) start with this so loaders can reject foreign files and
+// future versions with a descriptive error.
+func WriteHeader(enc *gob.Encoder, magic string, version int) error {
+	return enc.Encode(header{Magic: magic, Version: version})
+}
+
+// ReadHeader reads a preamble written by WriteHeader, validates the
+// magic and that the file's version is in [1, maxVersion], and
+// returns the file's version.
+func ReadHeader(dec *gob.Decoder, magic string, maxVersion int) (int, error) {
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return 0, fmt.Errorf("nn: decode checkpoint header: %w", err)
+	}
+	if h.Magic != magic {
+		return 0, fmt.Errorf("nn: bad checkpoint magic %q, want %q", h.Magic, magic)
+	}
+	if h.Version < 1 || h.Version > maxVersion {
+		return 0, fmt.Errorf("nn: unsupported checkpoint version %d (supported 1..%d)", h.Version, maxVersion)
+	}
+	return h.Version, nil
+}
+
+// EncodeParams writes one parameter section (shapes + data, in order)
+// to a gob stream. Gob transmits float64s as their exact bit patterns,
+// so a save/load round trip is bitwise lossless.
+func EncodeParams(enc *gob.Encoder, params []*ag.Value) error {
 	blobs := make([]paramBlob, len(params))
 	for i, p := range params {
 		blobs[i] = paramBlob{Shape: p.T.Shape, Data: p.T.Data}
 	}
-	return gob.NewEncoder(w).Encode(blobs)
+	return enc.Encode(blobs)
 }
 
-// Load reads parameters written by Save into the given parameter list,
-// which must match in count and per-tensor shape.
-func Load(r io.Reader, params []*ag.Value) error {
+// DecodeParams reads a section written by EncodeParams into params,
+// validating the element count and every tensor's shape before any
+// data is copied — a checkpoint for a different architecture (or a
+// reordered parameter list) fails with a descriptive error instead of
+// silently smearing weights across the wrong tensors.
+func DecodeParams(dec *gob.Decoder, params []*ag.Value) error {
 	var blobs []paramBlob
-	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+	if err := dec.Decode(&blobs); err != nil {
 		return fmt.Errorf("nn: decode parameters: %w", err)
 	}
 	if len(blobs) != len(params) {
@@ -38,12 +74,33 @@ func Load(r io.Reader, params []*ag.Value) error {
 	}
 	for i, b := range blobs {
 		p := params[i]
+		if !slices.Equal(b.Shape, p.T.Shape) {
+			return fmt.Errorf("nn: parameter %d shape mismatch: file %v, model %v", i, b.Shape, p.T.Shape)
+		}
 		if len(b.Data) != p.T.Size() {
 			return fmt.Errorf("nn: parameter %d size mismatch: file %d, model %d", i, len(b.Data), p.T.Size())
 		}
-		copy(p.T.Data, b.Data)
+	}
+	for i, b := range blobs {
+		copy(params[i].T.Data, b.Data)
 	}
 	return nil
+}
+
+// Save writes the parameters (in order) to w using encoding/gob. Load
+// with the same architecture restores them; this is how pre-trained
+// MTMLF (S)+(T) modules are shipped to a "new DB" in the paper's
+// cloud-service workflow (Section 2.3). The full-model checkpoint
+// format (internal/mtmlf Save/Load) wraps this section encoding with
+// a magic/version/config header.
+func Save(w io.Writer, params []*ag.Value) error {
+	return EncodeParams(gob.NewEncoder(w), params)
+}
+
+// Load reads parameters written by Save into the given parameter list,
+// which must match in count and per-tensor shape.
+func Load(r io.Reader, params []*ag.Value) error {
+	return DecodeParams(gob.NewDecoder(r), params)
 }
 
 // CopyParams copies parameter values from src to dst (shapes must match

@@ -1,0 +1,219 @@
+// JSON wire format for the serving endpoints. The codec is strict and
+// schema-aware: filter and join columns are resolved against the
+// served database so values decode to the column's kind (and unknown
+// tables/columns fail with the same typed errors the engine uses).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mtmlf/internal/plan"
+	"mtmlf/internal/sqldb"
+)
+
+// QueryJSON is the wire form of sqldb.Query.
+type QueryJSON struct {
+	Tables  []string     `json:"tables"`
+	Joins   []JoinJSON   `json:"joins,omitempty"`
+	Filters []FilterJSON `json:"filters,omitempty"`
+}
+
+// JoinJSON is the wire form of one equality join predicate.
+type JoinJSON struct {
+	T1 string `json:"t1"`
+	C1 string `json:"c1"`
+	T2 string `json:"t2"`
+	C2 string `json:"c2"`
+}
+
+// FilterJSON is the wire form of one filter predicate. Value is a
+// JSON string or number; it decodes to the column's kind.
+type FilterJSON struct {
+	Table string          `json:"table"`
+	Col   string          `json:"col"`
+	Op    string          `json:"op"`
+	Value json.RawMessage `json:"value"`
+}
+
+// PlanJSON is the wire form of a plan tree: either a scan leaf
+// ({"table": "t", "scan": "seq"|"index"}) or a join
+// ({"join": "hash"|"merge"|"nestloop", "left": ..., "right": ...}).
+type PlanJSON struct {
+	Table string    `json:"table,omitempty"`
+	Scan  string    `json:"scan,omitempty"`
+	Join  string    `json:"join,omitempty"`
+	Left  *PlanJSON `json:"left,omitempty"`
+	Right *PlanJSON `json:"right,omitempty"`
+}
+
+var opByName = map[string]sqldb.Op{
+	"=": sqldb.OpEq, "==": sqldb.OpEq,
+	"!=": sqldb.OpNeq, "<>": sqldb.OpNeq,
+	"<": sqldb.OpLt, "<=": sqldb.OpLe,
+	">": sqldb.OpGt, ">=": sqldb.OpGe,
+	"like": sqldb.OpLike, "LIKE": sqldb.OpLike,
+}
+
+var opNames = map[sqldb.Op]string{
+	sqldb.OpEq: "=", sqldb.OpNeq: "!=",
+	sqldb.OpLt: "<", sqldb.OpLe: "<=",
+	sqldb.OpGt: ">", sqldb.OpGe: ">=",
+	sqldb.OpLike: "like",
+}
+
+// DecodeQuery converts the wire form into an sqldb.Query, resolving
+// filter value kinds against db's schema.
+func DecodeQuery(db *sqldb.DB, qj *QueryJSON) (*sqldb.Query, error) {
+	if qj == nil {
+		return nil, fmt.Errorf("%w: missing query", ErrBadRequest)
+	}
+	q := &sqldb.Query{Tables: append([]string{}, qj.Tables...)}
+	for _, j := range qj.Joins {
+		q.Joins = append(q.Joins, sqldb.JoinEdge{T1: j.T1, C1: j.C1, T2: j.T2, C2: j.C2})
+	}
+	for _, f := range qj.Filters {
+		flt, err := decodeFilter(db, f)
+		if err != nil {
+			return nil, err
+		}
+		q.Filters = append(q.Filters, flt)
+	}
+	return q, nil
+}
+
+func decodeFilter(db *sqldb.DB, f FilterJSON) (sqldb.Filter, error) {
+	var out sqldb.Filter
+	tab := db.Table(f.Table)
+	if tab == nil {
+		return out, fmt.Errorf("%w: filter table %q", ErrUnknownTable, f.Table)
+	}
+	col := tab.Column(f.Col)
+	if col == nil {
+		return out, fmt.Errorf("%w: filter column %s.%s", ErrUnknownColumn, f.Table, f.Col)
+	}
+	op, ok := opByName[f.Op]
+	if !ok {
+		return out, fmt.Errorf("%w: unknown filter operator %q", ErrBadRequest, f.Op)
+	}
+	val, err := decodeValue(col.Kind, f.Value)
+	if err != nil {
+		return out, fmt.Errorf("filter %s.%s: %w", f.Table, f.Col, err)
+	}
+	return sqldb.Filter{Table: f.Table, Col: f.Col, Op: op, Val: val}, nil
+}
+
+func decodeValue(kind sqldb.Kind, raw json.RawMessage) (sqldb.Value, error) {
+	if len(raw) == 0 {
+		return sqldb.Value{}, fmt.Errorf("%w: missing value", ErrBadRequest)
+	}
+	switch kind {
+	case sqldb.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return sqldb.Value{}, fmt.Errorf("%w: string column wants a JSON string, got %s", ErrBadRequest, raw)
+		}
+		return sqldb.StrVal(s), nil
+	case sqldb.KindInt:
+		var i int64
+		if err := json.Unmarshal(raw, &i); err != nil {
+			return sqldb.Value{}, fmt.Errorf("%w: int column wants a JSON integer, got %s", ErrBadRequest, raw)
+		}
+		return sqldb.IntVal(i), nil
+	default:
+		var fl float64
+		if err := json.Unmarshal(raw, &fl); err != nil {
+			return sqldb.Value{}, fmt.Errorf("%w: float column wants a JSON number, got %s", ErrBadRequest, raw)
+		}
+		return sqldb.FloatVal(fl), nil
+	}
+}
+
+// DecodePlan converts the wire form into a plan tree.
+func DecodePlan(pj *PlanJSON) (*plan.Node, error) {
+	if pj == nil {
+		return nil, fmt.Errorf("%w: missing plan node", ErrBadRequest)
+	}
+	if pj.Table != "" {
+		if pj.Join != "" || pj.Left != nil || pj.Right != nil {
+			return nil, fmt.Errorf("%w: plan node %q is both scan and join", ErrBadRequest, pj.Table)
+		}
+		var op plan.ScanOp
+		switch pj.Scan {
+		case "", "seq":
+			op = plan.SeqScan
+		case "index":
+			op = plan.IndexScan
+		default:
+			return nil, fmt.Errorf("%w: unknown scan operator %q", ErrBadRequest, pj.Scan)
+		}
+		return plan.Leaf(pj.Table, op), nil
+	}
+	if pj.Left == nil || pj.Right == nil {
+		return nil, fmt.Errorf("%w: join node needs left and right children", ErrBadRequest)
+	}
+	var op plan.JoinOp
+	switch pj.Join {
+	case "", "hash":
+		op = plan.HashJoin
+	case "merge":
+		op = plan.MergeJoin
+	case "nestloop", "nl":
+		op = plan.NestLoopJoin
+	default:
+		return nil, fmt.Errorf("%w: unknown join operator %q", ErrBadRequest, pj.Join)
+	}
+	l, err := DecodePlan(pj.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodePlan(pj.Right)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewJoin(op, l, r), nil
+}
+
+// EncodeQuery converts a query to the wire form (inverse of
+// DecodeQuery for valid queries).
+func EncodeQuery(q *sqldb.Query) *QueryJSON {
+	qj := &QueryJSON{Tables: append([]string{}, q.Tables...)}
+	for _, j := range q.Joins {
+		qj.Joins = append(qj.Joins, JoinJSON{T1: j.T1, C1: j.C1, T2: j.T2, C2: j.C2})
+	}
+	for _, f := range q.Filters {
+		var raw json.RawMessage
+		switch f.Val.Kind {
+		case sqldb.KindString:
+			raw, _ = json.Marshal(f.Val.S)
+		case sqldb.KindInt:
+			raw, _ = json.Marshal(f.Val.I)
+		default:
+			raw, _ = json.Marshal(f.Val.F)
+		}
+		qj.Filters = append(qj.Filters, FilterJSON{Table: f.Table, Col: f.Col, Op: opNames[f.Op], Value: raw})
+	}
+	return qj
+}
+
+// EncodePlan converts a plan tree to the wire form.
+func EncodePlan(p *plan.Node) *PlanJSON {
+	if p == nil {
+		return nil
+	}
+	if p.IsLeaf() {
+		scan := "seq"
+		if p.Scan == plan.IndexScan {
+			scan = "index"
+		}
+		return &PlanJSON{Table: p.Table, Scan: scan}
+	}
+	join := "hash"
+	switch p.Join {
+	case plan.MergeJoin:
+		join = "merge"
+	case plan.NestLoopJoin:
+		join = "nestloop"
+	}
+	return &PlanJSON{Join: join, Left: EncodePlan(p.Left), Right: EncodePlan(p.Right)}
+}

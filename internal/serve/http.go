@@ -1,0 +1,209 @@
+// HTTP/JSON front end over the Engine — what cmd/mtmlf-serve mounts.
+//
+// Endpoints:
+//
+//	POST /estimate/card  {"query": ..., "plan": ...} → {"nodes": [...], "root": ...}
+//	POST /estimate/cost  same shape as /estimate/card
+//	POST /joinorder      {"query": ..., "plan": ...} → {"order": [...], "logprob": ..., "legal": ...}
+//	GET  /healthz        liveness + checkpoint/database identity
+//	GET  /statsz         QPS, per-endpoint p50/p99, batching and pool-reuse counters
+//	GET  /example        a valid random request body (for curl | POST round trips)
+//
+// "plan" is optional everywhere: when omitted, a left-deep
+// SeqScan/HashJoin tree over the query's table order stands in (the
+// paper's "existing DBMS provides the initial plan" role, without
+// requiring clients to speak plan trees).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+
+	"mtmlf/internal/plan"
+	"mtmlf/internal/workload"
+)
+
+// RequestJSON is the body of every POST endpoint.
+type RequestJSON struct {
+	Query *QueryJSON `json:"query"`
+	Plan  *PlanJSON  `json:"plan,omitempty"`
+}
+
+// EstimateJSON is the card/cost response body.
+type EstimateJSON struct {
+	// Nodes has one estimate per plan node in post-order.
+	Nodes []float64 `json:"nodes"`
+	Root  float64   `json:"root"`
+	// Plan echoes the plan the estimates are for (useful when the
+	// server synthesized it).
+	Plan string `json:"plan"`
+}
+
+// JoinOrderJSON is the /joinorder response body.
+type JoinOrderJSON struct {
+	Order   []string `json:"order"`
+	LogProb float64  `json:"logprob"`
+	Legal   bool     `json:"legal"`
+}
+
+// HealthJSON is the /healthz response body.
+type HealthJSON struct {
+	Status   string `json:"status"`
+	Database string `json:"database"`
+	Tables   int    `json:"tables"`
+	Sessions int    `json:"sessions"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewHandler mounts the serving endpoints over e. gen, when non-nil,
+// powers GET /example with random valid queries against the served
+// database (guarded by a mutex: workload generators are not
+// concurrency-safe).
+func NewHandler(e *Engine, gen *workload.Generator) http.Handler {
+	h := &handler{engine: e, gen: gen}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate/card", func(w http.ResponseWriter, r *http.Request) {
+		h.estimate(w, r, EndpointCard)
+	})
+	mux.HandleFunc("POST /estimate/cost", func(w http.ResponseWriter, r *http.Request) {
+		h.estimate(w, r, EndpointCost)
+	})
+	mux.HandleFunc("POST /joinorder", h.joinOrder)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /statsz", h.statsz)
+	mux.HandleFunc("GET /example", h.example)
+	return mux
+}
+
+type handler struct {
+	engine *Engine
+	genMu  sync.Mutex
+	gen    *workload.Generator
+}
+
+// maxBodyBytes bounds POST bodies: the largest legitimate request (a
+// deep plan over every table with many filters) is a few KB, so 1 MiB
+// leaves margin while keeping an oversized body from buffering
+// without bound.
+const maxBodyBytes = 1 << 20
+
+// decode parses a request body into a validated-shape (query, plan)
+// pair, synthesizing a left-deep plan when none is given. Semantic
+// validation happens in the engine.
+func (h *handler) decode(w http.ResponseWriter, r *http.Request) (*RequestJSON, *plan.Node, error) {
+	var req RequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, errors.Join(ErrBadRequest, err)
+	}
+	if req.Query == nil || len(req.Query.Tables) == 0 {
+		return nil, nil, errors.Join(ErrBadRequest, errors.New("missing query.tables"))
+	}
+	if req.Plan == nil {
+		return &req, plan.LeftDeepFromOrder(req.Query.Tables, plan.SeqScan, plan.HashJoin), nil
+	}
+	p, err := DecodePlan(req.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, p, nil
+}
+
+func (h *handler) estimate(w http.ResponseWriter, r *http.Request, ep Endpoint) {
+	req, p, err := h.decode(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q, err := DecodeQuery(h.engine.DB(), req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var est *Estimate
+	if ep == EndpointCard {
+		est, err = h.engine.EstimateCard(q, p)
+	} else {
+		est, err = h.engine.EstimateCost(q, p)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateJSON{Nodes: est.Nodes, Root: est.Root, Plan: p.String()})
+}
+
+func (h *handler) joinOrder(w http.ResponseWriter, r *http.Request) {
+	req, p, err := h.decode(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q, err := DecodeQuery(h.engine.DB(), req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := h.engine.JoinOrder(q, p)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinOrderJSON{Order: res.Order, LogProb: res.LogProb, Legal: res.Legal})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	db := h.engine.DB()
+	writeJSON(w, http.StatusOK, HealthJSON{
+		Status:   "ok",
+		Database: db.Name,
+		Tables:   len(db.Tables),
+		Sessions: h.engine.opts.Sessions,
+	})
+}
+
+func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.engine.Stats())
+}
+
+func (h *handler) example(w http.ResponseWriter, _ *http.Request) {
+	if h.gen == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	h.genMu.Lock()
+	cfg := workload.DefaultConfig()
+	cfg.MaxTables = 4
+	q := h.gen.GenQuery(cfg)
+	h.genMu.Unlock()
+	writeJSON(w, http.StatusOK, RequestJSON{
+		Query: EncodeQuery(q),
+		Plan:  EncodePlan(plan.LeftDeepFromOrder(q.Tables, plan.SeqScan, plan.HashJoin)),
+	})
+}
+
+// writeError maps the typed engine errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrInternal):
+		status = http.StatusInternalServerError
+	case errors.Is(err, ErrNoJoinOrder):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,402 @@
+// Package serve is the concurrent inference engine over the mtmlf
+// no-grad fast path — the layer a DBMS would call (or front with the
+// mtmlf-serve HTTP server) to consume a pretrained full-model
+// checkpoint.
+//
+// Architecture: a bounded pool of session workers, each owning one
+// inference session per batch (one ag.Eval checked out of the
+// process-wide evaluator pool via AcquireEval, released — and with it
+// every pooled tensor — when the batch completes). Requests funnel
+// through one queue; a worker that picks up a request drains up to
+// MaxBatch-1 more within BatchWindow and serves them as a micro-batch:
+// each request's (F)+(S) representation runs in the shared session,
+// and the cardinality/cost head projections of the whole batch fuse
+// into single kernel dispatches over the row-concatenated node
+// representations. The kernels compute every output row independently
+// with a fixed accumulation order (see tensor/matmul.go), so each
+// request's slice of the fused result is BITWISE identical to a solo
+// forward — concurrency and batching never perturb a served number
+// (asserted by the -race equivalence tests).
+//
+// Error boundary: the model layer panics on malformed inputs (unknown
+// tables, plans that don't cover the query). Engine validates every
+// request up front and returns typed errors (ErrUnknownTable,
+// ErrPlanMismatch, ...) instead; a recover() backstop converts any
+// surviving panic into ErrInternal so one bad request cannot take
+// down the server.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Sessions is the number of concurrent session workers (and so the
+	// maximum number of in-flight inference sessions). 0 means
+	// GOMAXPROCS.
+	Sessions int
+	// MaxBatch is the maximum number of requests fused into one
+	// micro-batch (and one session). 0 means 8; 1 disables batching.
+	MaxBatch int
+	// BatchWindow is how long a worker holding a non-full batch waits
+	// for more requests before serving. 0 means 200µs; negative means
+	// never wait (batches still form from queue backlog).
+	BatchWindow time.Duration
+	// QueueDepth bounds the request queue. 0 means 4*Sessions.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sessions <= 0 {
+		o.Sessions = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 1
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 200 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Sessions
+	}
+	return o
+}
+
+// Endpoint identifies one of the three serving APIs in stats.
+type Endpoint int
+
+// Endpoints.
+const (
+	EndpointCard Endpoint = iota
+	EndpointCost
+	EndpointJoinOrder
+	numEndpoints
+)
+
+// String implements fmt.Stringer.
+func (ep Endpoint) String() string {
+	switch ep {
+	case EndpointCard:
+		return "card"
+	case EndpointCost:
+		return "cost"
+	default:
+		return "joinorder"
+	}
+}
+
+// Estimate is a cardinality or cost answer: one value per plan node
+// in post-order (aligned with plan.Node.Nodes()), Root being the
+// whole-plan value.
+type Estimate struct {
+	Nodes []float64
+	Root  float64
+}
+
+// JoinOrderResult is a join-order answer.
+type JoinOrderResult struct {
+	// Order lists the tables in predicted join sequence.
+	Order []string
+	// LogProb is the sequence log-probability under the model.
+	LogProb float64
+	// Legal reports whether every prefix is connected in the query's
+	// join graph (always true for the constrained search unless the
+	// query itself is disconnected).
+	Legal bool
+}
+
+type result struct {
+	nodes []float64
+	order JoinOrderResult
+	err   error
+}
+
+type request struct {
+	ep    Endpoint
+	q     *sqldb.Query
+	p     *plan.Node
+	start time.Time
+	done  chan result
+}
+
+// Engine is the concurrent serving front end over one model. Safe for
+// concurrent use by any number of goroutines.
+type Engine struct {
+	model *mtmlf.Model
+	opts  Options
+	reqs  chan *request
+	stats *stats
+
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewEngine starts Sessions workers over the model. The model's
+// weights are read-only from here on: training concurrently with
+// serving is a data race.
+func NewEngine(m *mtmlf.Model, opts Options) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadRequest)
+	}
+	if n, max := len(m.Feat.DB.Tables), m.Shared.Cfg.MaxTables; n > max {
+		return nil, fmt.Errorf("%w: database has %d tables, model supports %d", ErrModelLimit, n, max)
+	}
+	opts = opts.withDefaults()
+	e := &Engine{
+		model: m,
+		opts:  opts,
+		reqs:  make(chan *request, opts.QueueDepth),
+		stats: newStats(opts.Sessions),
+		quit:  make(chan struct{}),
+	}
+	e.wg.Add(opts.Sessions)
+	for i := 0; i < opts.Sessions; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Model returns the served model (read-only).
+func (e *Engine) Model() *mtmlf.Model { return e.model }
+
+// DB returns the served database schema (read-only).
+func (e *Engine) DB() *sqldb.DB { return e.model.Feat.DB }
+
+// Close stops the workers. In-flight requests finish; subsequent
+// calls return ErrClosed.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// EstimateCard predicts the cardinality of every node of plan p for
+// query q (post-order; Root is the result-size estimate).
+func (e *Engine) EstimateCard(q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	return e.estimate(EndpointCard, q, p)
+}
+
+// EstimateCost predicts the cumulative cost of every node of plan p.
+func (e *Engine) EstimateCost(q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	return e.estimate(EndpointCost, q, p)
+}
+
+// JoinOrder predicts the join order for q via legality-constrained
+// beam search over the leaf representations of p.
+func (e *Engine) JoinOrder(q *sqldb.Query, p *plan.Node) (*JoinOrderResult, error) {
+	res, err := e.submit(EndpointJoinOrder, q, p)
+	if err != nil {
+		return nil, err
+	}
+	return &res.order, nil
+}
+
+func (e *Engine) estimate(ep Endpoint, q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	res, err := e.submit(ep, q, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{Nodes: res.nodes, Root: res.nodes[len(res.nodes)-1]}, nil
+}
+
+func (e *Engine) submit(ep Endpoint, q *sqldb.Query, p *plan.Node) (result, error) {
+	if err := e.Validate(q, p); err != nil {
+		e.stats.recordError()
+		return result{}, err
+	}
+	r := &request{ep: ep, q: q, p: p, start: time.Now(), done: make(chan result, 1)}
+	select {
+	case e.reqs <- r:
+	case <-e.quit:
+		return result{}, ErrClosed
+	}
+	select {
+	case res := <-r.done:
+		if res.err != nil {
+			e.stats.recordError()
+			return result{}, res.err
+		}
+		e.stats.record(ep, time.Since(r.start))
+		return res, nil
+	case <-e.quit:
+		// The engine may still complete the request; don't leave the
+		// caller hanging on a closed engine.
+		select {
+		case res := <-r.done:
+			if res.err == nil {
+				return res, nil
+			}
+			return result{}, res.err
+		default:
+			return result{}, ErrClosed
+		}
+	}
+}
+
+// worker is one session loop: pick up a request, fill a micro-batch,
+// serve it from a freshly checked-out evaluator session.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		var first *request
+		select {
+		case first = <-e.reqs:
+		case <-e.quit:
+			return
+		}
+		e.runBatch(e.fill(first))
+	}
+}
+
+// fill drains the queue (bounded by MaxBatch and BatchWindow) to form
+// a micro-batch around the first request.
+func (e *Engine) fill(first *request) []*request {
+	batch := []*request{first}
+	if e.opts.MaxBatch <= 1 {
+		return batch
+	}
+	var window <-chan time.Time
+	if e.opts.BatchWindow > 0 {
+		t := time.NewTimer(e.opts.BatchWindow)
+		defer t.Stop()
+		window = t.C
+	}
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case r := <-e.reqs:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		if window == nil {
+			break
+		}
+		select {
+		case r := <-e.reqs:
+			batch = append(batch, r)
+		case <-window:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch serves one micro-batch inside one inference session. The
+// session's Eval (and every pooled tensor of the batch) is released
+// at the end — see DESIGN.md "Session ownership".
+func (e *Engine) runBatch(batch []*request) {
+	ev := ag.AcquireEval()
+	defer ag.ReleaseEval(ev)
+
+	reps := make([]*mtmlf.InferRep, len(batch))
+	for i, r := range batch {
+		reps[i] = e.represent(ev, r)
+	}
+	e.runHeads(ev, EndpointCard, batch, reps)
+	e.runHeads(ev, EndpointCost, batch, reps)
+	for i, r := range batch {
+		if r.ep == EndpointJoinOrder && reps[i] != nil {
+			e.runJoinOrder(r, reps[i])
+		}
+	}
+	e.stats.recordBatch(len(batch))
+}
+
+// represent computes one request's shared representation in the
+// session, converting any surviving model panic into ErrInternal
+// (validation should have caught everything typed).
+func (e *Engine) represent(ev *ag.Eval, r *request) (rep *mtmlf.InferRep) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = nil
+			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
+		}
+	}()
+	return e.model.RepresentInfer(ev, r.q, r.p)
+}
+
+// runHeads fuses one head over every batch request of the given kind:
+// a single MLP dispatch over the row-concatenated node
+// representations. Each request's rows are computed independently by
+// the kernels, so its slice is bitwise identical to a solo forward.
+func (e *Engine) runHeads(ev *ag.Eval, ep Endpoint, batch []*request, reps []*mtmlf.InferRep) {
+	var idx []int
+	var ss []*tensor.Tensor
+	for i, r := range batch {
+		if r.ep == ep && reps[i] != nil {
+			idx = append(idx, i)
+			ss = append(ss, reps[i].S)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	// delivered counts responses already sent; the panic backstop
+	// must error only the undelivered suffix — done channels hold one
+	// buffered result, so a second send to an answered request would
+	// block this worker forever.
+	delivered := 0
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("%w: %v", ErrInternal, p)
+			for _, i := range idx[delivered:] {
+				batch[i].done <- result{err: err}
+			}
+		}
+	}()
+	fused := ss[0]
+	if len(ss) > 1 {
+		fused = ev.ConcatRows(ss...)
+	}
+	head := e.model.Shared.CardHead
+	if ep == EndpointCost {
+		head = e.model.Shared.CostHead
+	}
+	out := head.Infer(ev, fused) // [total nodes, 1]
+	row := 0
+	for _, i := range idx {
+		nRows := reps[i].S.Rows()
+		// ExpClamp copies into a fresh slice, so no pooled memory
+		// escapes the session.
+		batch[i].done <- result{nodes: mtmlf.ExpClamp(out.Data[row : row+nRows])}
+		delivered++
+		row += nRows
+	}
+}
+
+// runJoinOrder serves one join-order request from its representation
+// (KV-cached constrained beam search, same as the serial fast path).
+func (e *Engine) runJoinOrder(r *request, rep *mtmlf.InferRep) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
+		}
+	}()
+	res := e.model.Shared.JO.BeamSearchTensor(rep.Memory, r.q, e.model.Shared.Cfg.BeamWidth, true)
+	best, ok := mtmlf.BestBeam(res)
+	if !ok {
+		r.done <- result{err: fmt.Errorf("%w: join graph admits no connected order", ErrNoJoinOrder)}
+		return
+	}
+	r.done <- result{order: JoinOrderResult{
+		Order:   best.OrderTables(rep.Tables),
+		LogProb: best.LogProb,
+		Legal:   best.Legal,
+	}}
+}
+
+// Stats returns a snapshot of the engine's serving metrics.
+func (e *Engine) Stats() StatsSnapshot { return e.stats.snapshot() }

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
+)
+
+// testModel builds a small pretrained model and workload (mirrors
+// mtmlf's tinySetup; untrained task heads are fine — the serving
+// tests assert numeric identity, not quality).
+func testModel(t testing.TB) (*mtmlf.Model, []*workload.LabeledQuery) {
+	t.Helper()
+	db := datagen.SyntheticIMDB(5, 0.05)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	m := mtmlf.NewModel(cfg, db, 11)
+	gen := workload.NewGenerator(db, 12)
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 4
+	m.Feat.PretrainAll(gen, 5, 1, wcfg)
+	return m, gen.Generate(6, wcfg)
+}
+
+type expected struct {
+	cards []float64
+	costs []float64
+	order []string
+}
+
+func serialExpected(m *mtmlf.Model, qs []*workload.LabeledQuery) []expected {
+	out := make([]expected, len(qs))
+	for i, lq := range qs {
+		out[i] = expected{
+			cards: m.EstimateNodeCards(lq),
+			costs: m.EstimateNodeCosts(lq),
+			order: m.InferJoinOrder(lq.Q, lq.Plan),
+		}
+	}
+	return out
+}
+
+func sameFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != %v (not bitwise)", what, i, got[i], want[i])
+		}
+	}
+}
+
+func sameStrings(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %v, want %v", what, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: %v, want %v", what, got, want)
+		}
+	}
+}
+
+// TestEngineMatchesSerialBitwise: every engine answer must equal the
+// single-threaded fast path exactly.
+func TestEngineMatchesSerialBitwise(t *testing.T) {
+	m, qs := testModel(t)
+	want := serialExpected(m, qs)
+	e, err := NewEngine(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i, lq := range qs {
+		card, err := e.EstimateCard(lq.Q, lq.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFloats(t, "card", card.Nodes, want[i].cards)
+		if card.Root != want[i].cards[len(want[i].cards)-1] {
+			t.Fatal("root misaligned")
+		}
+		cost, err := e.EstimateCost(lq.Q, lq.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFloats(t, "cost", cost.Nodes, want[i].costs)
+		jo, err := e.JoinOrder(lq.Q, lq.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStrings(t, "order", jo.Order, want[i].order)
+		if !jo.Legal {
+			t.Fatal("constrained search returned illegal order")
+		}
+	}
+}
+
+// TestEngineConcurrentBitwise is the -race test of the ISSUE: many
+// goroutines hammer one engine (and so one shared model) with mixed
+// requests; every answer must be bitwise identical to the serial fast
+// path.
+func TestEngineConcurrentBitwise(t *testing.T) {
+	m, qs := testModel(t)
+	want := serialExpected(m, qs)
+	e, err := NewEngine(m, Options{Sessions: 4, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const goroutines, iters = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(qs)
+				lq := qs[i]
+				switch (g + it) % 3 {
+				case 0:
+					res, err := e.EstimateCard(lq.Q, lq.Plan)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range res.Nodes {
+						if res.Nodes[j] != want[i].cards[j] {
+							errs <- errors.New("concurrent card diverged from serial")
+							return
+						}
+					}
+				case 1:
+					res, err := e.EstimateCost(lq.Q, lq.Plan)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range res.Nodes {
+						if res.Nodes[j] != want[i].costs[j] {
+							errs <- errors.New("concurrent cost diverged from serial")
+							return
+						}
+					}
+				default:
+					res, err := e.JoinOrder(lq.Q, lq.Plan)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res.Order) != len(want[i].order) {
+						errs <- errors.New("concurrent order length diverged")
+						return
+					}
+					for j := range res.Order {
+						if res.Order[j] != want[i].order[j] {
+							errs <- errors.New("concurrent order diverged from serial")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := e.Stats()
+	if got := snap.Requests; got != goroutines*iters {
+		t.Fatalf("stats counted %d requests, want %d", got, goroutines*iters)
+	}
+}
+
+// TestNoGradAndBeamSearchConcurrentDirect drives the raw fast-path
+// primitives (NoGrad sessions + BeamSearchTensor) from many
+// goroutines on one shared model, without the engine in between —
+// the layer-below race test.
+func TestNoGradAndBeamSearchConcurrentDirect(t *testing.T) {
+	m, qs := testModel(t)
+	want := serialExpected(m, qs)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, lq := range qs {
+				var cards []float64
+				ag.NoGrad(func(e *ag.Eval) {
+					rep := m.RepresentInfer(e, lq.Q, lq.Plan)
+					cards = mtmlf.ExpClamp(m.PredictLogCardsInfer(e, rep).Data)
+				})
+				for j := range cards {
+					if cards[j] != want[i].cards[j] {
+						errs <- errors.New("direct NoGrad cards diverged")
+						return
+					}
+				}
+				order := m.InferJoinOrder(lq.Q, lq.Plan)
+				for j := range order {
+					if order[j] != want[i].order[j] {
+						errs <- errors.New("direct beam search diverged")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMicroBatching forces requests through one session worker
+// and checks that (a) batches actually fuse and (b) fused answers
+// stay bitwise identical.
+func TestEngineMicroBatching(t *testing.T) {
+	m, qs := testModel(t)
+	want := serialExpected(m, qs)
+	e, err := NewEngine(m, Options{Sessions: 1, MaxBatch: 8, BatchWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r % len(qs)
+			res, err := e.EstimateCard(qs[i].Q, qs[i].Plan)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := range res.Nodes {
+				if res.Nodes[j] != want[i].cards[j] {
+					errs <- errors.New("batched card diverged from serial")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := e.Stats()
+	if snap.Batches == 0 || snap.Batches >= n {
+		t.Fatalf("expected fused batches, got %d batches for %d requests", snap.Batches, n)
+	}
+	if snap.FusedRequests == 0 {
+		t.Fatal("no requests were micro-batched")
+	}
+}
+
+// TestEngineTypedErrors covers the error boundary: every malformed
+// request maps onto its sentinel without crashing the engine.
+func TestEngineTypedErrors(t *testing.T) {
+	m, qs := testModel(t)
+	e, err := NewEngine(m, Options{Sessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	db := m.Feat.DB
+	t0 := db.Tables[0].Name
+	t1 := db.Tables[1].Name
+	goodPlan := func(ts ...string) *plan.Node {
+		return plan.LeftDeepFromOrder(ts, plan.SeqScan, plan.HashJoin)
+	}
+	var strCol, intCol string
+	for _, c := range db.Tables[0].Columns {
+		if c.Kind == sqldb.KindString && strCol == "" {
+			strCol = c.Name
+		}
+		if c.Kind == sqldb.KindInt && intCol == "" {
+			intCol = c.Name
+		}
+	}
+
+	cases := []struct {
+		name string
+		q    *sqldb.Query
+		p    *plan.Node
+		want error
+	}{
+		{"nil query", nil, goodPlan(t0), ErrBadRequest},
+		{"nil plan", &sqldb.Query{Tables: []string{t0}}, nil, ErrBadRequest},
+		{"no tables", &sqldb.Query{}, goodPlan(t0), ErrBadRequest},
+		{"unknown query table", &sqldb.Query{Tables: []string{"nope"}}, goodPlan("nope"), ErrUnknownTable},
+		{"duplicate query table", &sqldb.Query{Tables: []string{t0, t0}}, goodPlan(t0, t0), ErrBadRequest},
+		{"plan misses query table", &sqldb.Query{Tables: []string{t0, t1}}, goodPlan(t0), ErrPlanMismatch},
+		{"plan scans extra table", &sqldb.Query{Tables: []string{t0}}, goodPlan(t0, t1), ErrPlanMismatch},
+		{"plan scans table twice", &sqldb.Query{Tables: []string{t0, t1}}, goodPlan(t0, t1, t0), ErrPlanMismatch},
+		{"unknown plan table", &sqldb.Query{Tables: []string{t0}}, goodPlan("nope2"), ErrUnknownTable},
+		{"filter on non-query table", &sqldb.Query{
+			Tables:  []string{t0},
+			Filters: []sqldb.Filter{{Table: t1, Col: intCol, Op: sqldb.OpEq, Val: sqldb.IntVal(1)}},
+		}, goodPlan(t0), ErrBadRequest},
+		{"filter on unknown table", &sqldb.Query{
+			Tables:  []string{t0},
+			Filters: []sqldb.Filter{{Table: "nope", Col: intCol, Op: sqldb.OpEq, Val: sqldb.IntVal(1)}},
+		}, goodPlan(t0), ErrUnknownTable},
+		{"unknown filter column", &sqldb.Query{
+			Tables:  []string{t0},
+			Filters: []sqldb.Filter{{Table: t0, Col: "no_col", Op: sqldb.OpEq, Val: sqldb.IntVal(1)}},
+		}, goodPlan(t0), ErrUnknownColumn},
+		{"kind-mismatched filter", &sqldb.Query{
+			Tables:  []string{t0},
+			Filters: []sqldb.Filter{{Table: t0, Col: intCol, Op: sqldb.OpEq, Val: sqldb.StrVal("x")}},
+		}, goodPlan(t0), ErrBadRequest},
+		{"join on foreign table", &sqldb.Query{
+			Tables: []string{t0},
+			Joins:  []sqldb.JoinEdge{{T1: t0, C1: intCol, T2: "nope", C2: "id"}},
+		}, goodPlan(t0), ErrUnknownTable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := e.EstimateCard(tc.q, tc.p); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("disconnected join graph", func(t *testing.T) {
+		var lq *workload.LabeledQuery
+		for _, c := range qs {
+			if len(c.Q.Tables) >= 2 {
+				lq = c
+				break
+			}
+		}
+		if lq == nil {
+			t.Skip("no multi-table query generated")
+		}
+		q := &sqldb.Query{Tables: lq.Q.Tables} // joins dropped
+		if _, err := e.JoinOrder(q, plan.LeftDeepFromOrder(q.Tables, plan.SeqScan, plan.HashJoin)); !errors.Is(err, ErrNoJoinOrder) {
+			t.Fatalf("got %v, want ErrNoJoinOrder", err)
+		}
+		// The same query is still estimable (a cross product is a
+		// valid plan shape for the heads).
+		if _, err := e.EstimateCard(q, plan.LeftDeepFromOrder(q.Tables, plan.SeqScan, plan.HashJoin)); err != nil {
+			t.Fatalf("estimate after join-order failure: %v", err)
+		}
+	})
+
+	// The engine survives all of the above: a good request still works.
+	lq := qs[0]
+	if _, err := e.EstimateCard(lq.Q, lq.Plan); err != nil {
+		t.Fatalf("engine broken after error barrage: %v", err)
+	}
+}
+
+// TestEngineRejectsOversizedDB: a model whose architecture cannot fit
+// the database is refused at construction, not at the first panic.
+func TestEngineRejectsOversizedDB(t *testing.T) {
+	db := datagen.SyntheticIMDB(5, 0.05)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	cfg.MaxTables = 2
+	m := mtmlf.NewModel(cfg, db, 1)
+	if _, err := NewEngine(m, Options{}); !errors.Is(err, ErrModelLimit) {
+		t.Fatalf("got %v, want ErrModelLimit", err)
+	}
+}
+
+// TestEngineClose: requests after Close fail with ErrClosed.
+func TestEngineClose(t *testing.T) {
+	m, qs := testModel(t)
+	e, err := NewEngine(m, Options{Sessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, err := e.EstimateCard(qs[0].Q, qs[0].Plan); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mtmlf/internal/tensor"
+)
+
+// latWindow is the per-endpoint latency ring size percentiles are
+// computed over (the most recent latWindow requests).
+const latWindow = 1024
+
+// stats accumulates serving telemetry. One mutex suffices: the
+// critical sections are a few counter bumps against milliseconds of
+// model work per request.
+type stats struct {
+	mu       sync.Mutex
+	start    time.Time
+	sessions int
+
+	counts  [numEndpoints]uint64
+	errors  uint64
+	batches uint64
+	// fused counts requests that shared their batch with at least one
+	// other request — the micro-batching hit rate numerator.
+	fused uint64
+
+	lat  [numEndpoints][]time.Duration // rings
+	latN [numEndpoints]int             // total inserted per ring
+}
+
+func newStats(sessions int) *stats {
+	return &stats{start: time.Now(), sessions: sessions}
+}
+
+func (s *stats) record(ep Endpoint, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[ep]++
+	if s.lat[ep] == nil {
+		s.lat[ep] = make([]time.Duration, 0, latWindow)
+	}
+	if len(s.lat[ep]) < latWindow {
+		s.lat[ep] = append(s.lat[ep], d)
+	} else {
+		s.lat[ep][s.latN[ep]%latWindow] = d
+	}
+	s.latN[ep]++
+}
+
+func (s *stats) recordError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordBatch(size int) {
+	s.mu.Lock()
+	s.batches++
+	if size > 1 {
+		s.fused += uint64(size)
+	}
+	s.mu.Unlock()
+}
+
+// EndpointStats is one endpoint's request count and latency
+// percentiles (over the most recent latWindow requests).
+type EndpointStats struct {
+	Requests uint64  `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// PoolStats reports the process-wide tensor-arena telemetry: how many
+// pooled buffers were handed out and how many required a fresh
+// allocation. ReuseRate → 1 as the serving arenas go warm (the
+// steady-state zero-allocation property of the fast path).
+type PoolStats struct {
+	Gets      uint64  `json:"gets"`
+	Allocs    uint64  `json:"allocs"`
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
+// StatsSnapshot is the /statsz payload.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      int     `json:"sessions"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	// QPS is the lifetime average request rate.
+	QPS float64 `json:"qps"`
+
+	Card      EndpointStats `json:"card"`
+	Cost      EndpointStats `json:"cost"`
+	JoinOrder EndpointStats `json:"joinorder"`
+
+	// Batches is the number of micro-batches served; FusedRequests the
+	// requests that shared a batch with at least one other.
+	Batches       uint64  `json:"batches"`
+	FusedRequests uint64  `json:"fused_requests"`
+	AvgBatch      float64 `json:"avg_batch"`
+
+	Pool PoolStats `json:"pool"`
+}
+
+func (s *stats) snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var snap StatsSnapshot
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	snap.Sessions = s.sessions
+	for ep := Endpoint(0); ep < numEndpoints; ep++ {
+		es := EndpointStats{Requests: s.counts[ep]}
+		es.P50Ms, es.P99Ms = ringPercentiles(s.lat[ep])
+		switch ep {
+		case EndpointCard:
+			snap.Card = es
+		case EndpointCost:
+			snap.Cost = es
+		default:
+			snap.JoinOrder = es
+		}
+		snap.Requests += s.counts[ep]
+	}
+	snap.Errors = s.errors
+	if snap.UptimeSeconds > 0 {
+		snap.QPS = float64(snap.Requests) / snap.UptimeSeconds
+	}
+	snap.Batches = s.batches
+	snap.FusedRequests = s.fused
+	if s.batches > 0 {
+		snap.AvgBatch = float64(snap.Requests) / float64(s.batches)
+	}
+	gets, allocs := tensor.PoolCounters()
+	snap.Pool = PoolStats{Gets: gets, Allocs: allocs}
+	if gets > 0 {
+		snap.Pool.ReuseRate = 1 - float64(allocs)/float64(gets)
+	}
+	return snap
+}
+
+// ringPercentiles returns the p50 and p99 of a latency ring in
+// milliseconds (zeros for an empty ring).
+func ringPercentiles(ring []time.Duration) (p50, p99 float64) {
+	if len(ring) == 0 {
+		return 0, 0
+	}
+	ms := make([]float64, len(ring))
+	for i, d := range ring {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(ms)
+	return percentileSorted(ms, 0.50), percentileSorted(ms, 0.99)
+}
+
+// percentileSorted is nearest-rank interpolation over a sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -14,7 +14,27 @@
 //     may point into a pooled tensor — copy it out (Clone) first.
 //   - Pools are NOT safe for concurrent use. Each inference session
 //     (one ag.Eval) owns one Pool; concurrent sessions get their own.
+//     DESIGN.md "Session ownership" records the full lifetime rules
+//     the serving layer builds on.
 package tensor
+
+import "sync/atomic"
+
+// Process-wide pool telemetry: every Get increments poolGets, and the
+// ones that could not reuse a free buffer also increment poolAllocs.
+// The serving layer's /statsz surfaces the reuse rate (1 - allocs/gets)
+// as its "is the arena warm" signal. Atomic adds cost ~ns against the
+// O(d^2..d^3) kernel work each pooled buffer feeds.
+var (
+	poolGets   atomic.Uint64
+	poolAllocs atomic.Uint64
+)
+
+// PoolCounters reports the cumulative pooled-tensor Gets and the
+// subset that had to allocate, across every Pool in the process.
+func PoolCounters() (gets, allocs uint64) {
+	return poolGets.Load(), poolAllocs.Load()
+}
 
 // Pool is a size-indexed tensor arena. The zero value is not usable;
 // construct with NewPool.
@@ -71,6 +91,7 @@ func (p *Pool) get(shape []int) (t *Tensor, reused bool) {
 		n *= s
 	}
 	p.live++
+	poolGets.Add(1)
 	c := p.classes[n]
 	if c == nil {
 		c = &poolClass{}
@@ -82,6 +103,7 @@ func (p *Pool) get(shape []int) (t *Tensor, reused bool) {
 		t.setShape(shape)
 		return t, true
 	}
+	poolAllocs.Add(1)
 	t = New(shape...)
 	c.bufs = append(c.bufs, t)
 	c.next++
