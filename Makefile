@@ -2,9 +2,9 @@
 # targets locally before pushing.
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve
+RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke ci
 
 all: build
 
@@ -53,4 +53,11 @@ bench-json:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke
+# End-to-end data-plane check: generate a tiny labeled corpus, retrain
+# from it streaming / in-memory / 4-worker, assert the loss
+# trajectories are bitwise identical. Leaves corpus-smoke.mtc for CI
+# to upload.
+corpus-smoke:
+	./scripts/corpus_smoke.sh
+
+ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke

@@ -1,22 +1,39 @@
 // Command mtmlf-datagen runs the paper's Section 6.2 data generation
-// pipeline and prints a summary of each generated database: tables,
-// row counts, fact/dimension roles, and the join schema.
+// pipeline. By default it prints a summary of each generated database:
+// tables, row counts, fact/dimension roles, and the join schema. With
+// -out it becomes the corpus builder of the data plane: each database
+// is written to a versioned on-disk corpus (internal/corpus) together
+// with a pre-labeled workload (true cardinalities, costs, and optimal
+// join orders), produced in deterministic shards on the worker pool —
+// the artifact mtmlf-train -corpus trains from without regenerating
+// or relabeling anything.
 //
 // Usage:
 //
 //	mtmlf-datagen [-n 11] [-seed 1] [-minrows 200] [-maxrows 1500]
 //	              [-workers 0]
+//	              [-out corpus.mtc] [-queries 48] [-shard 16]
+//	              [-maxtables 6] [-imdb] [-scale 0.06]
 //
-// -workers sizes the worker pool that generates databases
-// concurrently (0 = all cores); the fleet is identical at any size.
+// -workers sizes the worker pool that generates databases and
+// workload shards concurrently (0 = all cores); the fleet AND the
+// labeled corpus are identical at any size. -imdb replaces the
+// synthetic fleet with the single 21-table synthetic IMDB database.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"time"
 
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
+	"mtmlf/internal/sqldb"
 	"mtmlf/internal/tensor"
+	"mtmlf/internal/workload"
 )
 
 func main() {
@@ -25,6 +42,12 @@ func main() {
 	minRows := flag.Int("minrows", 0, "override minimum rows per table")
 	maxRows := flag.Int("maxrows", 0, "override maximum rows per table")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	out := flag.String("out", "", "write a labeled corpus to this file")
+	queries := flag.Int("queries", 48, "labeled queries per database (with -out)")
+	shard := flag.Int("shard", workload.DefaultShardSize, "workload generation shard size (with -out)")
+	maxTables := flag.Int("maxtables", 0, "override max tables joined per query (with -out)")
+	imdb := flag.Bool("imdb", false, "generate the synthetic IMDB database instead of a fleet")
+	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor (with -imdb)")
 	flag.Parse()
 	tensor.SetParallelism(*workers)
 
@@ -35,7 +58,12 @@ func main() {
 	if *maxRows > 0 {
 		cfg.MaxRows = *maxRows
 	}
-	fleet := datagen.GenerateFleet(*seed, *n, cfg)
+	var fleet []*sqldb.DB
+	if *imdb {
+		fleet = []*sqldb.DB{datagen.SyntheticIMDB(*seed, *scale)}
+	} else {
+		fleet = datagen.GenerateFleet(*seed, *n, cfg)
+	}
 	for _, db := range fleet {
 		fmt.Printf("=== %s: %d tables (%d fact) ===\n", db.Name, len(db.Tables), len(db.FactTables))
 		facts := map[string]bool{}
@@ -55,4 +83,58 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *out == "" {
+		return
+	}
+
+	// Corpus mode: label a sharded workload per database and stream
+	// everything to disk.
+	wcfg := workload.DefaultConfig()
+	if *maxTables > 0 {
+		wcfg.MaxTables = *maxTables
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := corpus.Meta{
+		Seed:      *seed,
+		ShardSize: *shard,
+		Note: fmt.Sprintf("mtmlf-datagen: %d dbs, %d queries/db, datagen %+v, workload %+v",
+			len(fleet), *queries, cfg, wcfg),
+	}
+	w, err := corpus.NewWriter(f, meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for i, db := range fleet {
+		t0 := time.Now()
+		if err := w.BeginDB(db); err != nil {
+			log.Fatal(err)
+		}
+		// The per-DB workload seed is offset the same way GenerateFleet
+		// offsets database seeds, so every (database, workload) pair is
+		// reproducible from the master seed alone.
+		qseed := *seed + 1000 + int64(i)*7919
+		examples := workload.GenerateSharded(catalog.NewMemory(db), qseed, *queries, *shard, wcfg)
+		for _, lq := range examples {
+			if err := w.AppendExample(lq); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("labeled %s: %d examples in %v\n", db.Name, len(examples), time.Since(t0).Round(time.Millisecond))
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote corpus %s: %d databases, %d examples each, %d bytes, %v total\n",
+		*out, len(fleet), *queries, fi.Size(), time.Since(start).Round(time.Millisecond))
 }

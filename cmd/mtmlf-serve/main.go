@@ -15,6 +15,10 @@
 // weights are tied to the database the checkpoint was trained on, and
 // the loader verifies the table list before serving.
 //
+// On SIGTERM/SIGINT the server shuts down gracefully: it stops
+// accepting, drains in-flight requests and micro-batches, and flushes
+// the final /statsz counters to the log before exiting.
+//
 // Usage:
 //
 //	mtmlf-train -queries 200 -save model.ckpt
@@ -23,12 +27,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mtmlf/internal/datagen"
@@ -77,7 +86,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
 
 	// The example generator gives clients (and the smoke test) valid
 	// request bodies without knowing the synthetic schema.
@@ -98,5 +106,38 @@ func main() {
 	// Logged (not just printed) so supervisors and the smoke script
 	// can parse the bound port when -addr ends in :0.
 	log.Printf("serving on http://%s", ln.Addr())
-	log.Fatal(srv.Serve(ln))
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, let active
+	// HTTP requests (and with them the engine's in-flight
+	// micro-batches) drain, then stop the session workers and flush
+	// the final serving counters to the log — the numbers /statsz
+	// would have reported had anyone asked in time.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure here; shutdown exits
+		// through the signal arm.
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining in-flight requests")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v (continuing)", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		engine.Close() // waits for every in-flight micro-batch
+		snap := engine.Stats()
+		if b, err := json.Marshal(snap); err == nil {
+			log.Printf("final statsz: %s", b)
+		}
+		log.Printf("drained: %d requests served, %d errors, %d micro-batches; bye",
+			snap.Requests, snap.Errors, snap.Batches)
+	}
 }

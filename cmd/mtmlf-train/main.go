@@ -1,13 +1,27 @@
-// Command mtmlf-train trains an MTMLF-QO model on the synthetic IMDB
-// database, reports held-out q-errors and join-order quality, and can
-// save / load model checkpoints — the artifact the paper's cloud
-// provider would ship to users (Section 2.3).
+// Command mtmlf-train trains an MTMLF-QO model, reports held-out
+// q-errors and join-order quality, and can save / load model
+// checkpoints — the artifact the paper's cloud provider would ship to
+// users (Section 2.3).
+//
+// Data comes from either backend of the pluggable data plane:
+//
+//   - default: the synthetic IMDB database is generated in memory and
+//     a workload is generated and labeled on the fly (the legacy
+//     path);
+//   - -corpus: a pre-labeled corpus file written by
+//     mtmlf-datagen -out is opened and training examples are
+//     STREAMED from disk, one minibatch at a time, so the corpus may
+//     exceed RAM. -corpus-mode inmem materializes the same examples
+//     into memory first — the trajectory is bitwise identical either
+//     way, which `make corpus-smoke` asserts on every CI run.
 //
 // Usage:
 //
 //	mtmlf-train [-queries 200] [-epochs 6] [-scale 0.06] [-seed 1]
 //	            [-save model.ckpt] [-load model.ckpt] [-shared-only]
 //	            [-seqloss] [-workers 0] [-batch 1]
+//	            [-corpus corpus.mtc] [-db name] [-corpus-mode stream]
+//	            [-loss-out losses.txt]
 //
 // -save writes a versioned FULL-model checkpoint: the shared stack,
 // both task heads, the join-order decoder, and the per-database
@@ -18,18 +32,25 @@
 // file holds.
 //
 // -workers sizes the shared worker pool (0 = all cores) used by the
-// tensor kernels and the data-parallel training loop; -batch sets the
-// minibatch size (examples per Adam step). The training trajectory
-// depends on -batch but is bitwise identical for every -workers.
+// tensor kernels, the data-parallel training loop, and corpus example
+// decoding; -batch sets the minibatch size (examples per Adam step).
+// The training trajectory depends on -batch but is bitwise identical
+// for every -workers. -loss-out writes every example's loss as a hex
+// float64 per line — the bitwise trajectory probe the corpus smoke
+// test compares across backends.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
@@ -38,9 +59,9 @@ import (
 )
 
 func main() {
-	queries := flag.Int("queries", 200, "training workload size")
+	queries := flag.Int("queries", 200, "training workload size (in-memory path)")
 	epochs := flag.Int("epochs", 6, "joint training epochs")
-	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor")
+	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor (in-memory path)")
 	seed := flag.Int64("seed", 1, "random seed")
 	savePath := flag.String("save", "", "save a trained model checkpoint to this file")
 	loadPath := flag.String("load", "", "load a checkpoint (full or shared-only) before training")
@@ -48,14 +69,87 @@ func main() {
 	seqLoss := flag.Bool("seqloss", false, "use the Equation 3 sequence-level join-order loss")
 	workers := flag.Int("workers", 0, "worker pool size for kernels and data-parallel training (0 = all cores)")
 	batch := flag.Int("batch", 1, "minibatch size (examples averaged per Adam step)")
+	corpusPath := flag.String("corpus", "", "train from this corpus file (written by mtmlf-datagen -out)")
+	dbName := flag.String("db", "", "corpus database to train on (default: first)")
+	corpusMode := flag.String("corpus-mode", "stream", "corpus example delivery: stream (from disk) or inmem (materialized)")
+	lossOut := flag.String("loss-out", "", "write the per-example loss trajectory (hex float64 per line) to this file")
 	flag.Parse()
 
 	tensor.SetParallelism(*workers)
 	start := time.Now()
-	db := datagen.SyntheticIMDB(*seed, *scale)
+
+	// --- data plane: pick a catalog backend and an example source ---
+	var (
+		cat   catalog.Catalog
+		src   workload.Source
+		test  []*workload.LabeledQuery
+		nGen  int
+		genFn func(gen *workload.Generator, wcfg workload.Config)
+	)
+	wcfg := workload.DefaultConfig()
+	if *corpusPath != "" {
+		r, err := corpus.Open(*corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		var c *corpus.DBCatalog
+		if *dbName != "" {
+			c, err = r.CatalogByName(*dbName)
+		} else {
+			c, err = r.Catalog(0)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat = c
+		ex := c.Examples()
+		n := ex.Len()
+		// The same 85/5/10 split as the in-memory path, expressed as
+		// index ranges over the streamed examples.
+		nTrain := int(float64(n) * 0.85)
+		nVal := int(float64(n) * 0.05)
+		trainSrc, err := workload.SubSource(ex, 0, nTrain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		testSrc, err := workload.SubSource(ex, nTrain+nVal, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if test, err = workload.Materialize(testSrc); err != nil {
+			log.Fatal(err)
+		}
+		switch *corpusMode {
+		case "stream":
+			src = trainSrc
+		case "inmem":
+			slice, err := workload.Materialize(trainSrc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src = workload.SliceSource(slice)
+		default:
+			log.Fatalf("unknown -corpus-mode %q (want stream or inmem)", *corpusMode)
+		}
+		fmt.Printf("corpus %s: db %q, %d examples (%d train, %d test), mode %s\n",
+			*corpusPath, c.Name(), n, src.Len(), len(test), *corpusMode)
+	} else {
+		db := datagen.SyntheticIMDB(*seed, *scale)
+		cat = catalog.NewMemory(db)
+		nGen = *queries
+		genFn = func(gen *workload.Generator, wcfg workload.Config) {
+			fmt.Printf("generating and labeling %d queries...\n", nGen)
+			all := gen.Generate(nGen, wcfg)
+			train, _, testQ := workload.Split(all, 0.85, 0.05)
+			src = workload.SliceSource(train)
+			test = testQ
+		}
+	}
+	db := cat.DB()
 	fmt.Printf("database: %d tables, %d join edges (%d workers)\n", len(db.Tables), len(db.Edges), tensor.Parallelism())
 
-	model := mtmlf.NewModel(mtmlf.DefaultConfig(), db, *seed)
+	model := mtmlf.NewModelCat(mtmlf.DefaultConfig(), cat, *seed)
 	loadedFull := false
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -76,8 +170,7 @@ func main() {
 			kind, info.Version, *loadPath, info.DBName)
 	}
 
-	gen := workload.NewGenerator(db, *seed+1)
-	wcfg := workload.DefaultConfig()
+	gen := workload.NewGeneratorFrom(cat, *seed+1)
 	if loadedFull {
 		// The checkpoint already holds trained featurizer weights for
 		// this database; repeating the pre-training would overwrite
@@ -87,16 +180,25 @@ func main() {
 		fmt.Println("pre-training per-table encoders (F module)...")
 		model.Feat.PretrainAll(gen, 40, 2, wcfg)
 	}
-
-	fmt.Printf("generating and labeling %d queries...\n", *queries)
-	all := gen.Generate(*queries, wcfg)
-	train, _, test := workload.Split(all, 0.85, 0.05)
+	if genFn != nil {
+		genFn(gen, wcfg)
+	}
 
 	fmt.Printf("joint training (%d epochs, seq-level loss: %v)...\n", *epochs, *seqLoss)
-	st := model.TrainJoint(train, mtmlf.TrainOptions{
+	st, err := model.TrainJointStream(src, mtmlf.TrainOptions{
 		Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss, BatchSize: *batch,
+		RecordTrajectory: *lossOut != "",
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("trained %d steps, final running loss %.3f\n", st.Steps, st.FinalLoss)
+	if *lossOut != "" {
+		if err := writeTrajectory(*lossOut, st.Trajectory); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-step loss trajectory to %s\n", len(st.Trajectory), *lossOut)
+	}
 
 	// Evaluate.
 	var cardQ, costQ, joeus []float64
@@ -140,4 +242,26 @@ func main() {
 		}
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTrajectory writes one hex-formatted float64 per line. Hex
+// floats are exact, so two trajectory files are byte-identical iff
+// the trajectories are bitwise identical — `cmp` is the assertion.
+func writeTrajectory(path string, losses []float64) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	for _, v := range losses {
+		if _, err := w.WriteString(strconv.FormatFloat(v, 'x', -1, 64) + "\n"); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/cost"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
@@ -24,7 +25,10 @@ func main() {
 	tensor.SetParallelism(*workers)
 
 	db := datagen.SyntheticIMDB(13, 0.05)
-	gen := workload.NewGenerator(db, 14)
+	// One catalog: the generator and all four model variants share a
+	// single ANALYZE pass over the database.
+	cat := catalog.NewMemory(db)
+	gen := workload.NewGeneratorFrom(cat, 14)
 	wcfg := workload.DefaultConfig()
 	wcfg.MaxTables = 4
 	qs := gen.Generate(120, wcfg)
@@ -35,7 +39,7 @@ func main() {
 		cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
 		cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
 		cfg.WCard, cfg.WCost, cfg.WJo = wCard, wCost, wJo
-		m := mtmlf.NewModel(cfg, db, seed)
+		m := mtmlf.NewModelCat(cfg, cat, seed)
 		m.Feat.PretrainAll(gen, 20, 2, wcfg)
 		m.TrainJoint(train, mtmlf.TrainOptions{Epochs: 6, Seed: seed + 1})
 		return m

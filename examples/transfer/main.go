@@ -9,13 +9,13 @@ import (
 	"flag"
 	"fmt"
 
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/cost"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/optimizer"
 	"mtmlf/internal/sqldb"
-	"mtmlf/internal/stats"
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
@@ -63,8 +63,9 @@ func main() {
 	task.Model.FineTune(ft, 2, cfg.LR/2, 5)
 
 	// Compare join orders on the held-out queries against PostgreSQL
-	// and the optimum.
-	st := stats.Analyze(newDB)
+	// and the optimum (the catalog backend supplies the ANALYZE
+	// statistics the baseline optimizer plans from).
+	st := catalog.NewMemory(newDB).Stats()
 	var pgTime, mlaTime, optTime float64
 	n := 0
 	for _, lq := range eval {

@@ -1,0 +1,159 @@
+// Package corpus is the on-disk backend of the data plane: a
+// versioned container holding, per database, the full columnar table
+// data plus a pre-labeled workload — everything a training run needs,
+// so corpora are generated once (mtmlf-datagen -out), shipped as
+// files, and trained from repeatedly without regenerating or
+// relabeling anything.
+//
+// # File layout
+//
+// A corpus file is a sequence of self-contained gob streams plus a
+// fixed-size binary trailer:
+//
+//	offset 0   header stream: magic/version preamble (nn.WriteHeader,
+//	           magic "MTMLF-CORPUS") followed by the Meta record
+//	...        per database, in order:
+//	             one schema stream: dbRecord (name, columnar tables,
+//	             join edges, fact tables)
+//	             one stream PER EXAMPLE: the workload.LabeledQuery
+//	...        footer stream: the index — every database's schema
+//	           offset and per-example offsets
+//	end-16     trailer: big-endian footer offset (8 bytes) + trailer
+//	           magic "MTCORPV1" (8 bytes)
+//
+// Every section being its own gob stream is what makes the format
+// seekable: the reader jumps to any example's offset and decodes just
+// that blob, so an epoch over a corpus far larger than RAM touches
+// one minibatch of examples at a time. The writer is append-only
+// (offsets are counted, never seeked), so generation can stream
+// examples straight to disk shard by shard.
+//
+// Gob transmits float64 bit patterns verbatim, which the data plane's
+// determinism contract relies on: a write → read round trip
+// reproduces the exact example set, and a training run streamed from
+// disk is bitwise identical to one fed from memory.
+package corpus
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"mtmlf/internal/sqldb"
+)
+
+const (
+	// Magic identifies a corpus header stream.
+	Magic = "MTMLF-CORPUS"
+	// Version is the current (and maximum readable) format version.
+	Version = 1
+	// trailerMagic closes the file; a torn or truncated write fails
+	// loudly at open instead of gob-decoding garbage.
+	trailerMagic = "MTCORPV1"
+	// trailerSize is the fixed byte size of the trailer.
+	trailerSize = 16
+)
+
+// Meta describes a corpus's provenance, echoed into the file at write
+// time and returned by Reader.Meta.
+type Meta struct {
+	// Seed is the master seed the corpus was generated from.
+	Seed int64
+	// ShardSize is the workload generation shard size (the unit of the
+	// deterministic seed scheme; see workload.ShardSeed).
+	ShardSize int
+	// Note is free-form provenance (generator settings echo).
+	Note string
+}
+
+// dbRecord is the on-wire schema + columnar data of one database.
+// The column vectors are stored verbatim, so a reloaded database is
+// value-identical to the generated one (and therefore re-ANALYZEs to
+// identical statistics).
+type dbRecord struct {
+	Name       string
+	Tables     []tableRecord
+	Edges      []sqldb.JoinEdge
+	FactTables []string
+}
+
+type tableRecord struct {
+	Name string
+	Cols []columnRecord
+}
+
+type columnRecord struct {
+	Name string
+	Kind sqldb.Kind
+	Ints []int64
+	Flts []float64
+	Strs []string
+}
+
+// dbIndex locates one database's sections inside the file.
+type dbIndex struct {
+	Name string
+	// Off is the schema stream's offset; ExampleOffs the offset of
+	// every example stream; End the offset one past the last example.
+	Off         int64
+	ExampleOffs []int64
+	End         int64
+}
+
+// footer is the seekable index written at the end of the file.
+type footer struct {
+	DBs []dbIndex
+}
+
+// toRecord flattens a database for encoding.
+func toRecord(db *sqldb.DB) dbRecord {
+	rec := dbRecord{
+		Name:       db.Name,
+		Edges:      db.Edges,
+		FactTables: db.FactTables,
+	}
+	for _, t := range db.Tables {
+		tr := tableRecord{Name: t.Name}
+		for _, c := range t.Columns {
+			tr.Cols = append(tr.Cols, columnRecord{
+				Name: c.Name, Kind: c.Kind,
+				Ints: c.Ints, Flts: c.Flts, Strs: c.Strs,
+			})
+		}
+		rec.Tables = append(rec.Tables, tr)
+	}
+	return rec
+}
+
+// fromRecord reconstitutes a database, re-validating schema
+// invariants (column lengths, edge endpoints) exactly like the
+// original construction path did.
+func fromRecord(rec dbRecord) (*sqldb.DB, error) {
+	db := sqldb.NewDB(rec.Name)
+	for _, tr := range rec.Tables {
+		cols := make([]*sqldb.Column, len(tr.Cols))
+		for i, cr := range tr.Cols {
+			cols[i] = &sqldb.Column{Name: cr.Name, Kind: cr.Kind, Ints: cr.Ints, Flts: cr.Flts, Strs: cr.Strs}
+		}
+		t, err := sqldb.NewTable(tr.Name, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: database %q: %w", rec.Name, err)
+		}
+		if err := db.AddTable(t); err != nil {
+			return nil, fmt.Errorf("corpus: database %q: %w", rec.Name, err)
+		}
+	}
+	for _, e := range rec.Edges {
+		if err := db.AddEdge(e); err != nil {
+			return nil, fmt.Errorf("corpus: database %q: %w", rec.Name, err)
+		}
+	}
+	db.FactTables = append(db.FactTables, rec.FactTables...)
+	return db, nil
+}
+
+// encodeSection writes one self-contained gob stream and returns
+// nothing; each section gets a fresh encoder so it can later be
+// decoded in isolation at its recorded offset.
+func encodeSection(w *countWriter, v any) error {
+	return gob.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/stats"
+	"mtmlf/internal/workload"
+)
+
+// Reader is seekable read access to a corpus file. Opening validates
+// the header, trailer, and index; table data and examples are decoded
+// on demand. All methods are safe for concurrent use — example reads
+// go through ReadAt, so any number of training workers can stream
+// from one Reader.
+type Reader struct {
+	ra    io.ReaderAt
+	meta  Meta
+	index []dbIndex
+	cats  []*DBCatalog
+
+	closer io.Closer // set when Open owns the file
+}
+
+// Open opens a corpus file for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens a corpus from any io.ReaderAt of known size (an
+// os.File, a bytes.Reader, an mmap).
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size < trailerSize {
+		return nil, fmt.Errorf("corpus: file too small (%d bytes)", size)
+	}
+	// Trailer: footer offset + closing magic.
+	var trailer [trailerSize]byte
+	if _, err := ra.ReadAt(trailer[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("corpus: read trailer: %w", err)
+	}
+	if string(trailer[8:]) != trailerMagic {
+		return nil, fmt.Errorf("corpus: bad trailer magic %q (truncated or foreign file?)", trailer[8:])
+	}
+	footerOff := int64(binary.BigEndian.Uint64(trailer[:8]))
+	if footerOff < 0 || footerOff >= size-trailerSize {
+		return nil, fmt.Errorf("corpus: footer offset %d outside file of %d bytes", footerOff, size)
+	}
+	// Header: magic/version preamble + meta.
+	hdr := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, 0, size)))
+	if _, err := nn.ReadHeader(hdr, Magic, Version); err != nil {
+		return nil, fmt.Errorf("corpus: not a corpus file: %w", err)
+	}
+	var meta Meta
+	if err := hdr.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("corpus: read meta: %w", err)
+	}
+	// Footer index.
+	var ft footer
+	dec := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, footerOff, size-trailerSize-footerOff)))
+	if err := dec.Decode(&ft); err != nil {
+		return nil, fmt.Errorf("corpus: read footer: %w", err)
+	}
+	r := &Reader{ra: ra, meta: meta, index: ft.DBs, cats: make([]*DBCatalog, len(ft.DBs))}
+	for i := range r.cats {
+		r.cats[i] = &DBCatalog{r: r, idx: i}
+	}
+	return r, nil
+}
+
+// Close releases the underlying file when the reader owns one (Open).
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Meta returns the corpus provenance record.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// NumDBs returns the number of databases in the corpus.
+func (r *Reader) NumDBs() int { return len(r.index) }
+
+// Names returns the database names in file order.
+func (r *Reader) Names() []string {
+	out := make([]string, len(r.index))
+	for i, d := range r.index {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Catalog returns the i-th database as a catalog.Catalog. The schema
+// and columnar data are decoded on first use and cached; statistics
+// are computed on first use.
+func (r *Reader) Catalog(i int) (*DBCatalog, error) {
+	if i < 0 || i >= len(r.index) {
+		return nil, fmt.Errorf("corpus: database %d outside [0, %d)", i, len(r.index))
+	}
+	c := r.cats[i]
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CatalogByName returns the named database's catalog.
+func (r *Reader) CatalogByName(name string) (*DBCatalog, error) {
+	for i, d := range r.index {
+		if d.Name == name {
+			return r.Catalog(i)
+		}
+	}
+	return nil, fmt.Errorf("corpus: no database %q (have %v)", name, r.Names())
+}
+
+// Examples returns the i-th database's labeled workload as a
+// streaming workload.Source: each access decodes one example straight
+// from disk, so epochs never materialize the corpus.
+func (r *Reader) Examples(i int) (*ExampleSet, error) {
+	if i < 0 || i >= len(r.index) {
+		return nil, fmt.Errorf("corpus: database %d outside [0, %d)", i, len(r.index))
+	}
+	return &ExampleSet{r: r, d: &r.index[i]}, nil
+}
+
+// section returns a decoder over the byte range [off, end).
+func (r *Reader) section(off, end int64) *gob.Decoder {
+	return gob.NewDecoder(bufio.NewReader(io.NewSectionReader(r.ra, off, end-off)))
+}
+
+// DBCatalog is one corpus database behind the catalog.Catalog
+// interface: the on-disk backend's answer to catalog.Memory.
+type DBCatalog struct {
+	r   *Reader
+	idx int
+
+	dbOnce sync.Once
+	db     *sqldb.DB
+	dbErr  error
+
+	stOnce sync.Once
+	st     *stats.DBStats
+}
+
+var _ catalog.Catalog = (*DBCatalog)(nil)
+
+// load decodes and caches the schema + columnar data.
+func (c *DBCatalog) load() error {
+	c.dbOnce.Do(func() {
+		d := c.r.index[c.idx]
+		end := d.End
+		if len(d.ExampleOffs) > 0 {
+			end = d.ExampleOffs[0]
+		}
+		var rec dbRecord
+		if err := c.r.section(d.Off, end).Decode(&rec); err != nil {
+			c.dbErr = fmt.Errorf("corpus: decode database %q: %w", d.Name, err)
+			return
+		}
+		c.db, c.dbErr = fromRecord(rec)
+	})
+	return c.dbErr
+}
+
+// Name implements catalog.Catalog.
+func (c *DBCatalog) Name() string { return c.r.index[c.idx].Name }
+
+// DB implements catalog.Catalog. Catalogs are handed out by
+// Reader.Catalog, which fails on decode errors, so DB never returns
+// nil on a loaded catalog.
+func (c *DBCatalog) DB() *sqldb.DB {
+	if err := c.load(); err != nil {
+		panic(err)
+	}
+	return c.db
+}
+
+// Stats implements catalog.Catalog, re-running ANALYZE over the
+// reloaded columns. The columns round-trip bitwise, so these
+// statistics equal the ones the in-memory backend computed at
+// generation time.
+func (c *DBCatalog) Stats() *stats.DBStats {
+	c.stOnce.Do(func() { c.st = stats.Analyze(c.DB()) })
+	return c.st
+}
+
+// Examples returns this database's workload source.
+func (c *DBCatalog) Examples() *ExampleSet {
+	return &ExampleSet{r: c.r, d: &c.r.index[c.idx]}
+}
+
+// ExampleSet is one database's pre-labeled workload, streamed from
+// disk. It implements workload.Source; Example is safe for any number
+// of concurrent callers (reads go through ReadAt with no shared
+// cursor) and always decodes the same bits for the same index.
+type ExampleSet struct {
+	r *Reader
+	d *dbIndex
+}
+
+var _ workload.Source = (*ExampleSet)(nil)
+
+// Len implements workload.Source.
+func (s *ExampleSet) Len() int { return len(s.d.ExampleOffs) }
+
+// Example implements workload.Source, decoding example i from its
+// recorded byte range.
+func (s *ExampleSet) Example(i int) (*workload.LabeledQuery, error) {
+	if i < 0 || i >= len(s.d.ExampleOffs) {
+		return nil, fmt.Errorf("corpus: example %d outside [0, %d) of %q", i, len(s.d.ExampleOffs), s.d.Name)
+	}
+	off := s.d.ExampleOffs[i]
+	end := s.d.End
+	if i+1 < len(s.d.ExampleOffs) {
+		end = s.d.ExampleOffs[i+1]
+	}
+	var lq workload.LabeledQuery
+	if err := s.r.section(off, end).Decode(&lq); err != nil {
+		return nil, fmt.Errorf("corpus: decode example %d of %q: %w", i, s.d.Name, err)
+	}
+	return &lq, nil
+}

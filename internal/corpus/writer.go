@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
+)
+
+// countWriter counts bytes written so the writer can record section
+// offsets without seeking (the format is append-only).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Writer streams a corpus to an io.Writer: header, then for each
+// database a schema section followed by any number of example
+// sections, then the index footer and trailer on Close. Appending is
+// sequential (one goroutine); generation can still be parallel —
+// produce shards concurrently, append them in order.
+type Writer struct {
+	cw     *countWriter
+	flush  *bufio.Writer
+	dbs    []dbIndex
+	open   bool
+	closed bool
+}
+
+// NewWriter writes the header and returns a corpus writer. The caller
+// owns the underlying writer (Close does not close it).
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	enc := gob.NewEncoder(cw)
+	if err := nn.WriteHeader(enc, Magic, Version); err != nil {
+		return nil, fmt.Errorf("corpus: write header: %w", err)
+	}
+	if err := enc.Encode(meta); err != nil {
+		return nil, fmt.Errorf("corpus: write meta: %w", err)
+	}
+	return &Writer{cw: cw, flush: bw}, nil
+}
+
+// BeginDB starts a new database section, writing its schema and
+// columnar data. Examples appended afterwards belong to it.
+func (w *Writer) BeginDB(db *sqldb.DB) error {
+	if w.closed {
+		return fmt.Errorf("corpus: writer closed")
+	}
+	w.endDB()
+	w.dbs = append(w.dbs, dbIndex{Name: db.Name, Off: w.cw.n})
+	w.open = true
+	if err := encodeSection(w.cw, toRecord(db)); err != nil {
+		return fmt.Errorf("corpus: write database %q: %w", db.Name, err)
+	}
+	return nil
+}
+
+// AppendExample appends one labeled example to the current database.
+func (w *Writer) AppendExample(lq *workload.LabeledQuery) error {
+	if w.closed {
+		return fmt.Errorf("corpus: writer closed")
+	}
+	if !w.open {
+		return fmt.Errorf("corpus: AppendExample before BeginDB")
+	}
+	d := &w.dbs[len(w.dbs)-1]
+	d.ExampleOffs = append(d.ExampleOffs, w.cw.n)
+	if err := encodeSection(w.cw, lq); err != nil {
+		return fmt.Errorf("corpus: write example %d of %q: %w", len(d.ExampleOffs)-1, d.Name, err)
+	}
+	return nil
+}
+
+// endDB seals the in-progress database index entry.
+func (w *Writer) endDB() {
+	if w.open {
+		w.dbs[len(w.dbs)-1].End = w.cw.n
+		w.open = false
+	}
+}
+
+// Close writes the footer index and trailer and flushes. It does not
+// close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.endDB()
+	footerOff := w.cw.n
+	if err := encodeSection(w.cw, footer{DBs: w.dbs}); err != nil {
+		return fmt.Errorf("corpus: write footer: %w", err)
+	}
+	var trailer [trailerSize]byte
+	binary.BigEndian.PutUint64(trailer[:8], uint64(footerOff))
+	copy(trailer[8:], trailerMagic)
+	if _, err := w.cw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("corpus: write trailer: %w", err)
+	}
+	return w.flush.Flush()
+}
+
+// Database pairs one database with its labeled workload, for the
+// convenience writer.
+type Database struct {
+	DB       *sqldb.DB
+	Examples []*workload.LabeledQuery
+}
+
+// WriteFile writes a whole corpus to path in one call.
+func WriteFile(path string, meta Meta, dbs []*Database) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w, err := NewWriter(f, meta)
+	if err != nil {
+		return err
+	}
+	for _, d := range dbs {
+		if err := w.BeginDB(d.DB); err != nil {
+			return err
+		}
+		for _, lq := range d.Examples {
+			if err := w.AppendExample(lq); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Close()
+}

@@ -49,6 +49,21 @@ type Config struct {
 	// StringColFrac is the fraction of attribute columns generated as
 	// strings (to exercise LIKE predicates).
 	StringColFrac float64
+	// WeightedFrac is the fraction of otherwise-independent int
+	// columns drawn from a small weighted value list — a handful of
+	// support values with random weights, the lumpy distributions the
+	// bulk-load generators (random-data-load, crdbload) produce from
+	// user-supplied weighted lists, rather than a smooth parametric
+	// Zipf. 0 (the default) disables, leaving generation byte-
+	// identical to the pre-knob pipeline.
+	WeightedFrac float64
+	// GroupCorrFrac is the fraction of correlated columns derived from
+	// a shared hidden category column instead of the first attribute —
+	// producing a correlated column *group* (all members move with one
+	// latent variable, pairwise-correlated with each other but not
+	// with attr1). 0 (the default) disables, leaving generation byte-
+	// identical to the pre-knob pipeline.
+	GroupCorrFrac float64
 }
 
 // DefaultConfig returns laptop-scale settings faithful to the paper's
@@ -158,11 +173,20 @@ func GenerateDB(rng *rand.Rand, name string, cfg Config) *sqldb.DB {
 }
 
 // generateAttributes produces the S2 attribute columns: a mix of
-// skewed independent columns, columns correlated with the first one,
-// and string columns.
+// skewed independent columns, columns correlated with the first one
+// (or, behind GroupCorrFrac, with a shared hidden category), weighted-
+// list columns (behind WeightedFrac), and string columns.
+//
+// All new-knob rng draws are short-circuited behind the knob being
+// non-zero, so DefaultConfig consumes the exact rng stream it always
+// did and every pre-existing seed reproduces its old database.
 func generateAttributes(rng *rand.Rand, rows, count int, cfg Config) []*sqldb.Column {
 	cols := make([]*sqldb.Column, 0, count)
 	var base []int64
+	// group is the lazily generated hidden category column that
+	// GroupCorrFrac members derive from; never stored as a column
+	// itself (the correlation is latent, as in real data).
+	var group []int64
 	for a := 0; a < count; a++ {
 		name := fmt.Sprintf("attr%d", a+1)
 		if a > 0 && rng.Float64() < cfg.StringColFrac {
@@ -171,9 +195,19 @@ func generateAttributes(rng *rand.Rand, rows, count int, cfg Config) []*sqldb.Co
 		}
 		domain := 2 + rng.Intn(cfg.MaxDomain-1)
 		var vals []int64
-		if a > 0 && base != nil && rng.Float64() < cfg.CorrelatedFrac {
-			vals = correlatedColumn(rng, base, domain)
-		} else {
+		switch {
+		case a > 0 && base != nil && rng.Float64() < cfg.CorrelatedFrac:
+			anchor := base
+			if cfg.GroupCorrFrac > 0 && rng.Float64() < cfg.GroupCorrFrac {
+				if group == nil {
+					group = zipfColumn(rng, rows, 2+rng.Intn(6), 1.2+rng.Float64())
+				}
+				anchor = group
+			}
+			vals = correlatedColumn(rng, anchor, domain)
+		case cfg.WeightedFrac > 0 && rng.Float64() < cfg.WeightedFrac:
+			vals = weightedColumn(rng, rows, domain)
+		default:
 			vals = zipfColumn(rng, rows, domain, cfg.ZipfMin+rng.Float64()*(cfg.ZipfMax-cfg.ZipfMin))
 		}
 		if base == nil {
@@ -182,6 +216,36 @@ func generateAttributes(rng *rand.Rand, rows, count int, cfg Config) []*sqldb.Co
 		cols = append(cols, sqldb.IntColumn(name, vals))
 	}
 	return cols
+}
+
+// weightedColumn draws rows values from a small support set with
+// random weights — the weighted-list heuristic of the bulk-load
+// generators. Weights are squared uniforms, so most of the mass
+// typically lands on one or two values with a ragged tail, a shape a
+// parametric Zipf never produces.
+func weightedColumn(rng *rand.Rand, rows, domain int) []int64 {
+	m := 2 + rng.Intn(6)
+	if m > domain {
+		m = domain
+	}
+	support := rng.Perm(domain)[:m]
+	cum := make([]float64, m)
+	var total float64
+	for i := range cum {
+		u := rng.Float64()
+		total += u * u
+		cum[i] = total
+	}
+	vals := make([]int64, rows)
+	for i := range vals {
+		x := rng.Float64() * total
+		k := 0
+		for k < m-1 && x > cum[k] {
+			k++
+		}
+		vals[i] = int64(support[k])
+	}
+	return vals
 }
 
 // zipfColumn draws rows values from a Zipf(s) distribution over

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/cost"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
@@ -114,13 +115,15 @@ func FullConfig() Config {
 // trainedModel builds, pre-trains and jointly trains one MTMLF model
 // variant on a labeled workload. Each variant draws its encoder
 // pre-training queries from a private generator derived from seed, so
-// independent variants share no mutable state and can train
-// concurrently on the worker pool with deterministic results.
-func trainedModel(cfg Config, db *sqldb.DB, train []*workload.LabeledQuery, wCard, wCost, wJo float64, seed int64) *mtmlf.Model {
+// independent variants share no mutable state beyond the frozen
+// catalog (its lazily computed statistics are behind a sync.Once) and
+// can train concurrently on the worker pool with deterministic
+// results.
+func trainedModel(cfg Config, cat catalog.Catalog, train []*workload.LabeledQuery, wCard, wCost, wJo float64, seed int64) *mtmlf.Model {
 	mc := cfg.Model
 	mc.WCard, mc.WCost, mc.WJo = wCard, wCost, wJo
-	m := mtmlf.NewModel(mc, db, seed)
-	gen := workload.NewGenerator(db, seed+1000)
+	m := mtmlf.NewModelCat(mc, cat, seed)
+	gen := workload.NewGeneratorFrom(cat, seed+1000)
 	m.Feat.PretrainAll(gen, cfg.EncoderQueries, cfg.EncoderEpochs, cfg.Workload)
 	m.TrainJoint(train, mtmlf.TrainOptions{Epochs: cfg.Epochs, Seed: seed + 1, SeqLevelLoss: cfg.SeqLevelLoss})
 	return m
@@ -147,14 +150,17 @@ type Table1Result struct {
 // reports per-node card/cost q-errors on the held-out test set.
 func RunTable1(cfg Config) (*Table1Result, error) {
 	db := datagen.SyntheticIMDB(cfg.Seed, cfg.IMDBScale)
-	gen := workload.NewGenerator(db, cfg.Seed+1)
+	// One catalog for the whole table: the generator, the statistics
+	// baseline, and every model variant share a single ANALYZE pass.
+	cat := catalog.NewMemory(db)
+	gen := workload.NewGeneratorFrom(cat, cfg.Seed+1)
 	wcfg := cfg.Workload
 	wcfg.WithOptimal = true
 	all := gen.Generate(cfg.TrainQueries+cfg.TestQueries, wcfg)
 	train := all[:cfg.TrainQueries]
 	test := all[cfg.TrainQueries:]
 
-	st := stats.Analyze(db)
+	st := cat.Stats()
 	cm := cost.Default()
 
 	// Q-errors are collected over multi-table sub-plans (join nodes,
@@ -216,9 +222,9 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 			}
 		},
 		// MTMLF-QO (joint) and the single-task ablations.
-		func() { joint = trainedModel(cfg, db, train, 1, 1, 1, cfg.Seed+10) },
-		func() { cardOnly = trainedModel(cfg, db, train, 1, 0, 0, cfg.Seed+20) },
-		func() { costOnly = trainedModel(cfg, db, train, 0, 1, 0, cfg.Seed+30) },
+		func() { joint = trainedModel(cfg, cat, train, 1, 1, 1, cfg.Seed+10) },
+		func() { cardOnly = trainedModel(cfg, cat, train, 1, 0, 0, cfg.Seed+20) },
+		func() { costOnly = trainedModel(cfg, cat, train, 0, 1, 0, cfg.Seed+30) },
 	)
 
 	evalModel := func(m *mtmlf.Model) (cq, coq []float64) {
@@ -316,7 +322,8 @@ type Table2Result struct {
 // on held-out queries.
 func RunTable2(cfg Config) (*Table2Result, error) {
 	db := datagen.SyntheticIMDB(cfg.Seed, cfg.IMDBScale)
-	gen := workload.NewGenerator(db, cfg.Seed+2)
+	cat := catalog.NewMemory(db)
+	gen := workload.NewGeneratorFrom(cat, cfg.Seed+2)
 	wcfg := cfg.Workload
 	wcfg.WithOptimal = true
 	if wcfg.MaxTables > workload.MaxOptimalTables {
@@ -333,9 +340,9 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 	var joint, joOnly *mtmlf.Model
 	var st *stats.DBStats
 	parallel.Do(
-		func() { joint = trainedModel(cfg, db, train, 1, 1, 1, cfg.Seed+40) },
-		func() { joOnly = trainedModel(cfg, db, train, 0, 0, 1, cfg.Seed+50) },
-		func() { st = stats.Analyze(db) },
+		func() { joint = trainedModel(cfg, cat, train, 1, 1, 1, cfg.Seed+40) },
+		func() { joOnly = trainedModel(cfg, cat, train, 0, 0, 1, cfg.Seed+50) },
+		func() { st = cat.Stats() },
 	)
 
 	var pgTime, optTime, jointTime, joTime float64
@@ -471,6 +478,10 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 	// sequence inside one closure.
 	var single, fresh *mtmlf.Model
 	var st *stats.DBStats
+	// One catalog for the held-out DB: the from-scratch control and
+	// the baseline optimizer share a single ANALYZE pass (safe to
+	// race on — Stats is behind a sync.Once).
+	testCat := catalog.NewMemory(testDB)
 	parallel.Do(
 		func() {
 			testTask.Model.FineTune(ftSet, cfg.FineTuneEpochs, cfg.Model.LR/10, cfg.Seed+500)
@@ -487,9 +498,9 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 			// model on the test DB's own 20K-query workload; at our scale the
 			// local workload IS small, which is exactly the cold-start setting
 			// MTMLF targets.
-			single = trainedModel(cfg, testDB, ftSet, 1, 1, 1, cfg.Seed+600)
+			single = trainedModel(cfg, testCat, ftSet, 1, 1, 1, cfg.Seed+600)
 		},
-		func() { st = stats.Analyze(testDB) },
+		func() { st = testCat.Stats() },
 	)
 	var pgTime, optTime, mlaTime, singleTime, freshTime float64
 	for _, lq := range evalSet {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"mtmlf/internal/ag"
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/stats"
@@ -79,12 +80,22 @@ type Featurizer struct {
 }
 
 // New builds a featurizer with freshly initialized encoders for every
-// table of the database.
+// table of an in-memory database.
 func New(db *sqldb.DB, cfg Config, seed int64) *Featurizer {
+	return NewFrom(catalog.NewMemory(db), cfg, seed)
+}
+
+// NewFrom builds a featurizer over any catalog backend, reusing the
+// catalog's (computed-once) ANALYZE statistics. Initialization draws
+// depend only on seed and the table order, so identical catalogs —
+// e.g. a database and its corpus round trip — yield bitwise-identical
+// encoders.
+func NewFrom(cat catalog.Catalog, cfg Config, seed int64) *Featurizer {
 	rng := rand.New(rand.NewSource(seed))
+	db := cat.DB()
 	f := &Featurizer{
 		DB:    db,
-		Stats: stats.Analyze(db),
+		Stats: cat.Stats(),
 		Cfg:   cfg,
 		Encs:  map[string]*TableEncoder{},
 	}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"mtmlf/internal/ag"
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/featurize"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/plan"
@@ -139,11 +140,20 @@ type Model struct {
 	Feat   *featurize.Featurizer
 }
 
-// NewModel builds a fresh single-database model.
+// NewModel builds a fresh single-database model over an in-memory
+// database.
 func NewModel(cfg Config, db *sqldb.DB, seed int64) *Model {
+	return NewModelCat(cfg, catalog.NewMemory(db), seed)
+}
+
+// NewModelCat builds a fresh model over any catalog backend —
+// in-memory (catalog.Memory) or on-disk (corpus.DBCatalog). The
+// catalog's statistics feed the featurizer, so backends that
+// round-trip the column data bitwise yield bitwise-identical models.
+func NewModelCat(cfg Config, cat catalog.Catalog, seed int64) *Model {
 	return &Model{
 		Shared: NewShared(cfg, seed),
-		Feat:   featurize.New(db, cfg.Feat, seed+1),
+		Feat:   featurize.NewFrom(cat, cfg.Feat, seed+1),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mtmlf/internal/ag"
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/featurize"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/parallel"
@@ -12,9 +13,75 @@ import (
 	"mtmlf/internal/workload"
 )
 
-// newFeaturizer builds a featurizer sized by the model config.
-func newFeaturizer(db *sqldb.DB, cfg Config, seed int64) *featurize.Featurizer {
-	return featurize.New(db, cfg.Feat, seed)
+// ---------------------------------------------------------------------------
+// Streaming epoch iterator
+// ---------------------------------------------------------------------------
+
+// runEpochs is the streaming epoch iterator every training loop runs
+// on: a seeded shuffle over n example indices per epoch, cut into
+// minibatches. For each minibatch it first calls prefetch (which may
+// pull the examples from any workload.Source — in-memory slice or
+// on-disk corpus — worker-parallel), then computes the minibatch
+// data-parallel and applies one Adam step. Only minibatch-sized state
+// is ever live, so the example universe can exceed RAM; and because
+// the shuffle depends only on seed and the per-example math only on
+// the example bits, the trajectory is bitwise identical for every
+// worker count and every source backend.
+func runEpochs(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
+	prefetch func(batch []int) error,
+	build func(slot, example int) *ag.Value,
+	after func(loss float64)) error {
+	rng := rand.New(rand.NewSource(seed))
+	slots := make([]ag.Grads, bs)
+	losses := make([]float64, bs)
+	for ep := 0; ep < epochs; ep++ {
+		order := rng.Perm(n)
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			if prefetch != nil {
+				if err := prefetch(batch); err != nil {
+					return err
+				}
+			}
+			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
+				return build(i, batch[i])
+			})
+			if after != nil {
+				for i := range batch {
+					after(losses[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fetchInto pulls one minibatch's examples into dst, worker-parallel
+// for storage-backed sources (decode is real work there); the
+// in-memory slice source is just indexed.
+func fetchInto(src workload.Source, batch []int, dst []*workload.LabeledQuery) error {
+	if ss, ok := src.(workload.SliceSource); ok {
+		for j, gi := range batch {
+			dst[j] = ss[gi]
+		}
+		return nil
+	}
+	errs := make([]error, len(batch))
+	parallel.For(len(batch), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j], errs[j] = src.Example(batch[j])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TrainOptions controls joint training.
@@ -39,6 +106,11 @@ type TrainOptions struct {
 	// ordered by example index, so the loss trajectory is bitwise
 	// identical for every worker count.
 	Workers int
+	// RecordTrajectory keeps every example's loss (in processing
+	// order) in TrainStats.Trajectory — the eps=0 equivalence probe
+	// for comparing training runs across source backends and worker
+	// counts.
+	RecordTrajectory bool
 }
 
 func (o TrainOptions) batchSize() int {
@@ -61,6 +133,9 @@ type TrainStats struct {
 	// with BatchSize b, one Adam update covers b examples).
 	Steps     int
 	FinalLoss float64
+	// Trajectory holds every example's loss in processing order when
+	// TrainOptions.RecordTrajectory is set (nil otherwise).
+	Trajectory []float64
 }
 
 // batchBackward computes per-example losses and gradients for one
@@ -158,37 +233,42 @@ func (m *Model) jointLoss(lq *workload.LabeledQuery, seqLevel bool) *ag.Value {
 // Adam step. The trajectory depends on Seed and BatchSize but never
 // on Workers.
 func (m *Model) TrainJoint(train []*workload.LabeledQuery, opts TrainOptions) TrainStats {
+	// A slice source never errors, so the streaming path's error is
+	// structurally nil here.
+	st, _ := m.TrainJointStream(workload.SliceSource(train), opts)
+	return st
+}
+
+// TrainJointStream is TrainJoint over any workload.Source: the
+// in-memory slice backend, an on-disk corpus (corpus.Reader.Examples)
+// or any future example producer. Each minibatch's examples are
+// fetched worker-parallel just before use and dropped after, so the
+// corpus may exceed RAM. The trajectory is bitwise identical to the
+// in-memory path on the same example set — the source only changes
+// where bytes come from, never what the optimizer sees.
+func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainStats, error) {
 	cfg := m.Shared.Cfg
 	lr := cfg.LR
 	if opts.LR > 0 {
 		lr = opts.LR
 	}
 	bs := opts.batchSize()
-	nWorkers := opts.workers()
 	opt := nn.NewAdam(m.Shared.Params(), lr)
-	rng := rand.New(rand.NewSource(opts.Seed))
+	var st TrainStats
 	var running float64
-	steps := 0
-	slots := make([]ag.Grads, bs)
-	losses := make([]float64, bs)
-	for ep := 0; ep < opts.Epochs; ep++ {
-		order := rng.Perm(len(train))
-		for start := 0; start < len(order); start += bs {
-			end := start + bs
-			if end > len(order) {
-				end = len(order)
+	cur := make([]*workload.LabeledQuery, bs)
+	err := runEpochs(opt, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
+		func(batch []int) error { return fetchInto(src, batch, cur) },
+		func(slot, _ int) *ag.Value { return m.jointLoss(cur[slot], opts.SeqLevelLoss) },
+		func(loss float64) {
+			running = 0.95*running + 0.05*loss
+			st.Steps++
+			if opts.RecordTrajectory {
+				st.Trajectory = append(st.Trajectory, loss)
 			}
-			batch := order[start:end]
-			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
-				return m.jointLoss(train[batch[i]], opts.SeqLevelLoss)
-			})
-			for i := range batch {
-				running = 0.95*running + 0.05*losses[i]
-				steps++
-			}
-		}
-	}
-	return TrainStats{Steps: steps, FinalLoss: running}
+		})
+	st.FinalLoss = running
+	return st, err
 }
 
 // ---------------------------------------------------------------------------
@@ -253,13 +333,8 @@ func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
 			pool = append(pool, sample{t, lq})
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
 	topts := TrainOptions{BatchSize: opts.BatchSize, Workers: opts.Workers}
-	bs := topts.batchSize()
-	nWorkers := topts.workers()
-	slots := make([]ag.Grads, bs)
-	losses := make([]float64, bs)
 	mlaLoss := func(s sample) *ag.Value {
 		m := s.task.Model
 		rep := m.Represent(s.lq.Q, s.lq.Plan)
@@ -270,19 +345,14 @@ func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
 		}
 		return loss
 	}
-	for ep := 0; ep < opts.JointEpochs; ep++ {
-		order := rng.Perm(len(pool))
-		for start := 0; start < len(order); start += bs {
-			end := start + bs
-			if end > len(order) {
-				end = len(order)
-			}
-			batch := order[start:end]
-			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
-				return mlaLoss(pool[batch[i]])
-			})
-		}
-	}
+	// The pooled pairs are in memory already (each task built them),
+	// so the epoch iterator runs with no prefetch stage; the shuffle,
+	// minibatching, and reduction are the same machinery TrainJoint
+	// streams corpora through.
+	_ = runEpochs(opt, len(pool), opts.JointEpochs, topts.batchSize(), topts.workers(), opts.Seed,
+		nil,
+		func(_, example int) *ag.Value { return mlaLoss(pool[example]) },
+		nil)
 	return tasks
 }
 
@@ -297,8 +367,11 @@ func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
 // would occupy an arbitrary rotation of feature space and the shared
 // modules could not extrapolate across DBs.
 func NewDBTask(shared *Shared, db *sqldb.DB, opts MLAOptions, seed int64) *DBTask {
-	gen := workload.NewGenerator(db, seed)
-	model := &Model{Shared: shared, Feat: newFeaturizer(db, shared.Cfg, opts.Seed+7)}
+	// One catalog per task: the generator and the featurizer share a
+	// single ANALYZE pass over the database.
+	cat := catalog.NewMemory(db)
+	gen := workload.NewGeneratorFrom(cat, seed)
+	model := &Model{Shared: shared, Feat: featurize.NewFrom(cat, shared.Cfg.Feat, opts.Seed+7)}
 	model.Feat.PretrainAll(gen, opts.SingleTablePerTable, opts.EncoderEpochs, opts.Workload)
 	return &DBTask{
 		DB:      db,

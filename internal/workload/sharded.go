@@ -1,0 +1,67 @@
+// Sharded, worker-parallel workload production. The fleet-scale
+// corpora the MTMLF pretraining story needs (many databases, many
+// thousands of labeled queries each) are embarrassingly parallel to
+// produce, but a single Generator is a serial rng stream. The scheme
+// here follows the bulk-loading generators (worker-pooled, batched,
+// deterministic): examples are produced in fixed-size shards, each
+// shard drawing from its own seed derived only from (seed, shard
+// index). Shards share the catalog's frozen statistics and fan out
+// over the repo-wide worker pool, so the labeled workload is bitwise
+// identical at any worker count — and identical again when a corpus
+// written from it is read back.
+package workload
+
+import (
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/parallel"
+)
+
+// DefaultShardSize is the per-shard example count used when a caller
+// passes shardSize <= 0. Small enough to fan out tiny workloads,
+// large enough to amortize per-shard rng setup.
+const DefaultShardSize = 16
+
+// ShardSeed derives the rng seed of one shard from the workload seed.
+// The multiplier is the 64-bit golden-ratio constant (splitmix64's
+// increment); consecutive shards land far apart in seed space, and
+// the mapping depends on nothing but (seed, shard) — not on worker
+// count, scheduling, or which machine runs the shard.
+func ShardSeed(seed int64, shard int) int64 {
+	return seed + int64(shard+1)*-0x61c8864680b583eb // 0x9e3779b97f4a7c15 as int64
+}
+
+// Shard derives a generator that shares this generator's database,
+// statistics, and cost model (all frozen, read-only) but draws from
+// its own seed — the unit of sharded workload production.
+func (g *Generator) Shard(seed int64) *Generator {
+	return &Generator{DB: g.DB, Stats: g.Stats, Cost: g.Cost, rng: newRNG(seed)}
+}
+
+// GenerateSharded produces n labeled queries over the catalog in
+// shards of shardSize (<= 0 means DefaultShardSize), worker-parallel
+// on the shared pool. Shard s generates examples [s*shardSize,
+// (s+1)*shardSize) from ShardSeed(seed, s); the result is identical
+// for every worker count and every shard-to-worker assignment.
+func GenerateSharded(cat catalog.Catalog, seed int64, n, shardSize int, cfg Config) []*LabeledQuery {
+	if n <= 0 {
+		return nil
+	}
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	base := NewGeneratorFrom(cat, seed)
+	nShards := (n + shardSize - 1) / shardSize
+	out := make([]*LabeledQuery, n)
+	parallel.For(nShards, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			g := base.Shard(ShardSeed(seed, s))
+			start := s * shardSize
+			end := start + shardSize
+			if end > n {
+				end = n
+			}
+			copy(out[start:end], g.Generate(end-start, cfg))
+		}
+	})
+	return out
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/parallel"
+)
+
+func shardedSetup() catalog.Catalog {
+	cfg := datagen.DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 5
+	cfg.MinRows, cfg.MaxRows = 60, 120
+	return catalog.NewMemory(datagen.GenerateFleet(17, 1, cfg)[0])
+}
+
+func equalWorkloads(t *testing.T, a, b []*LabeledQuery) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("workload sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Q.String() != y.Q.String() {
+			t.Fatalf("example %d: queries differ:\n%v\n%v", i, x.Q, y.Q)
+		}
+		if x.Plan.String() != y.Plan.String() {
+			t.Fatalf("example %d: plans differ", i)
+		}
+		if len(x.NodeCards) != len(y.NodeCards) {
+			t.Fatalf("example %d: label lengths differ", i)
+		}
+		for j := range x.NodeCards {
+			if math.Float64bits(x.NodeCards[j]) != math.Float64bits(y.NodeCards[j]) ||
+				math.Float64bits(x.NodeCosts[j]) != math.Float64bits(y.NodeCosts[j]) {
+				t.Fatalf("example %d node %d: labels differ", i, j)
+			}
+		}
+		if math.Float64bits(x.RawCard) != math.Float64bits(y.RawCard) {
+			t.Fatalf("example %d: raw card differs", i)
+		}
+		if len(x.OptimalOrder) != len(y.OptimalOrder) {
+			t.Fatalf("example %d: optimal order lengths differ", i)
+		}
+		for j := range x.OptimalOrder {
+			if x.OptimalOrder[j] != y.OptimalOrder[j] {
+				t.Fatalf("example %d: optimal orders differ", i)
+			}
+		}
+	}
+}
+
+// TestGenerateShardedWorkerCountInvariant is the workload half of the
+// data plane's determinism contract: the same seed must produce the
+// identical labeled workload whether the shards run on 1 worker or 4.
+func TestGenerateShardedWorkerCountInvariant(t *testing.T) {
+	cat := shardedSetup()
+	cfg := DefaultConfig()
+	cfg.MaxTables = 3
+	prev := parallel.SetWorkers(1)
+	serial := GenerateSharded(cat, 23, 22, 4, cfg)
+	parallel.SetWorkers(4)
+	par := GenerateSharded(cat, 23, 22, 4, cfg)
+	parallel.SetWorkers(prev)
+	equalWorkloads(t, serial, par)
+}
+
+// TestGenerateShardedRepeatable: same seed twice ⇒ identical output;
+// different seed ⇒ different output (the seed actually matters).
+func TestGenerateShardedRepeatable(t *testing.T) {
+	cat := shardedSetup()
+	cfg := DefaultConfig()
+	cfg.MaxTables = 3
+	a := GenerateSharded(cat, 9, 10, 4, cfg)
+	b := GenerateSharded(cat, 9, 10, 4, cfg)
+	equalWorkloads(t, a, b)
+	c := GenerateSharded(cat, 10, 10, 4, cfg)
+	same := true
+	for i := range a {
+		if a[i].Q.String() != c[i].Q.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// TestGenerateShardedShardAlignment: a shard boundary is a contract —
+// example i comes from shard i/shardSize at ShardSeed(seed, shard) —
+// so a prefix of a larger request equals the smaller request whenever
+// they share whole shards.
+func TestGenerateShardedShardAlignment(t *testing.T) {
+	cat := shardedSetup()
+	cfg := DefaultConfig()
+	cfg.MaxTables = 3
+	small := GenerateSharded(cat, 41, 8, 4, cfg)
+	large := GenerateSharded(cat, 41, 16, 4, cfg)
+	equalWorkloads(t, small, large[:8])
+}
+
+// TestSubSourceAndMaterialize covers the streaming split helpers.
+func TestSubSourceAndMaterialize(t *testing.T) {
+	cat := shardedSetup()
+	cfg := DefaultConfig()
+	cfg.MaxTables = 3
+	all := GenerateSharded(cat, 3, 9, 4, cfg)
+	src := SliceSource(all)
+	sub, err := SubSource(src, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 4 {
+		t.Fatalf("sub len %d, want 4", sub.Len())
+	}
+	got, err := Materialize(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalWorkloads(t, all[3:7], got)
+	if _, err := sub.Example(4); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := SubSource(src, 5, 99); err == nil {
+		t.Fatal("expected invalid-range error")
+	}
+}

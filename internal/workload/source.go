@@ -1,0 +1,84 @@
+// Streaming access to labeled workloads. A Source abstracts where
+// training examples come from — a fully materialized in-memory slice
+// (SliceSource, the legacy path) or an on-disk corpus decoded on
+// demand (internal/corpus) — so the training loop never has to hold a
+// whole corpus in RAM, and the trajectory it produces cannot depend
+// on which backend fed it.
+package workload
+
+import (
+	"fmt"
+
+	"mtmlf/internal/parallel"
+)
+
+// Source is random access to a labeled workload. Example must be safe
+// for concurrent callers (the trainer fetches a minibatch's examples
+// worker-parallel) and must return the same example bits for the same
+// index on every call — that invariance is what keeps the training
+// trajectory identical between in-memory and on-disk backends.
+type Source interface {
+	// Len is the number of examples.
+	Len() int
+	// Example returns example i (0 <= i < Len). Implementations backed
+	// by storage may fail with an I/O error.
+	Example(i int) (*LabeledQuery, error)
+}
+
+// SliceSource adapts a materialized example slice to Source — the
+// in-memory backend.
+type SliceSource []*LabeledQuery
+
+// Len implements Source.
+func (s SliceSource) Len() int { return len(s) }
+
+// Example implements Source.
+func (s SliceSource) Example(i int) (*LabeledQuery, error) { return s[i], nil }
+
+// SubSource restricts src to the half-open index range [lo, hi) — how
+// train/validation/test splits are expressed over a streaming corpus
+// without materializing it.
+func SubSource(src Source, lo, hi int) (Source, error) {
+	if lo < 0 || hi < lo || hi > src.Len() {
+		return nil, fmt.Errorf("workload: sub-source [%d, %d) outside [0, %d)", lo, hi, src.Len())
+	}
+	return &subSource{src: src, lo: lo, n: hi - lo}, nil
+}
+
+type subSource struct {
+	src Source
+	lo  int
+	n   int
+}
+
+func (s *subSource) Len() int { return s.n }
+
+func (s *subSource) Example(i int) (*LabeledQuery, error) {
+	if i < 0 || i >= s.n {
+		return nil, fmt.Errorf("workload: example %d outside sub-source of %d", i, s.n)
+	}
+	return s.src.Example(s.lo + i)
+}
+
+// Materialize fetches every example of a source into memory
+// (worker-parallel), for consumers that need slices — evaluation
+// loops, the legacy TrainJoint entry point, round-trip tests.
+func Materialize(src Source) ([]*LabeledQuery, error) {
+	if s, ok := src.(SliceSource); ok {
+		return s, nil
+	}
+	n := src.Len()
+	out := make([]*LabeledQuery, n)
+	errs := make([]error, n)
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = src.Example(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mtmlf/internal/catalog"
 	"mtmlf/internal/cost"
 	"mtmlf/internal/optimizer"
 	"mtmlf/internal/plan"
@@ -93,13 +94,23 @@ type Generator struct {
 
 // NewGenerator analyzes the database and prepares a generator.
 func NewGenerator(db *sqldb.DB, seed int64) *Generator {
+	return NewGeneratorFrom(catalog.NewMemory(db), seed)
+}
+
+// NewGeneratorFrom prepares a generator over any catalog backend,
+// reusing the catalog's (computed-once) statistics instead of running
+// a fresh ANALYZE pass.
+func NewGeneratorFrom(cat catalog.Catalog, seed int64) *Generator {
 	return &Generator{
-		DB:    db,
-		Stats: stats.Analyze(db),
+		DB:    cat.DB(),
+		Stats: cat.Stats(),
 		Cost:  cost.Default(),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   newRNG(seed),
 	}
 }
+
+// newRNG is the one seed-to-rng mapping every generator path uses.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // GenQuery builds one random connected join query with filters.
 func (g *Generator) GenQuery(cfg Config) *sqldb.Query {
