@@ -4,7 +4,7 @@
 GO ?= go
 RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke ci
 
 all: build
 
@@ -60,4 +60,12 @@ serve-smoke:
 corpus-smoke:
 	./scripts/corpus_smoke.sh
 
-ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke
+# End-to-end fleet pretraining check: generate a tiny 3-DB fleet
+# corpus with single-table sections, run Algorithm 1 from the artifact
+# twice (streaming vs materialized), assert the loss trajectories and
+# the saved shared checkpoints are bitwise identical. Leaves
+# mla-smoke.mtc for CI to upload.
+mla-smoke:
+	./scripts/mla_smoke.sh
+
+ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke

@@ -233,7 +233,9 @@ func BenchmarkMLAShuffling(b *testing.B) {
 
 		// Shuffled MLA.
 		sharedA := mtmlf.NewShared(cfg, 34)
-		mtmlf.TrainMLA(sharedA, trainDBs, opts)
+		if _, _, err := mtmlf.TrainMLA(sharedA, trainDBs, opts); err != nil {
+			b.Fatal(err)
+		}
 		shuffled := evalOn(sharedA)
 
 		// Sequential per-DB training (no cross-DB shuffling).

@@ -14,11 +14,24 @@
 //	              [-workers 0]
 //	              [-out corpus.mtc] [-queries 48] [-shard 16]
 //	              [-maxtables 6] [-imdb] [-scale 0.06]
+//	              [-single-table 0]
 //
 // -workers sizes the worker pool that generates databases and
 // workload shards concurrently (0 = all cores); the fleet AND the
 // labeled corpus are identical at any size. -imdb replaces the
 // synthetic fleet with the single 21-table synthetic IMDB database.
+//
+// -single-table N switches corpus generation into fleet-MLA mode: for
+// each database the corpus additionally stores a v2 single-table
+// section of N labeled encoder pre-training queries per table, and
+// the multi-table workload is generated with the Algorithm 1 seed
+// scheme (mtmlf.GenMLAData: per-DB task seed, single-table draws
+// first, then -queries multi-table examples from the same rng
+// stream). A corpus written this way is the complete fleet
+// pretraining artifact: `mtmlf-train -mla -corpus` trains the shared
+// (S)+(T) modules from it bitwise-identically to a live in-memory
+// TrainMLA run, skipping both workload labeling and the live (F)
+// pre-training pass.
 package main
 
 import (
@@ -31,6 +44,8 @@ import (
 	"mtmlf/internal/catalog"
 	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/parallel"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
@@ -48,6 +63,7 @@ func main() {
 	maxTables := flag.Int("maxtables", 0, "override max tables joined per query (with -out)")
 	imdb := flag.Bool("imdb", false, "generate the synthetic IMDB database instead of a fleet")
 	scale := flag.Float64("scale", 0.06, "synthetic IMDB scale factor (with -imdb)")
+	singleTable := flag.Int("single-table", 0, "with -out: store N single-table queries per table (corpus v2 fleet-MLA mode)")
 	flag.Parse()
 	tensor.SetParallelism(*workers)
 
@@ -87,8 +103,8 @@ func main() {
 		return
 	}
 
-	// Corpus mode: label a sharded workload per database and stream
-	// everything to disk.
+	// Corpus mode: label a workload per database and stream everything
+	// to disk.
 	wcfg := workload.DefaultConfig()
 	if *maxTables > 0 {
 		wcfg.MaxTables = *maxTables
@@ -97,33 +113,81 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shardSize := *shard
+	if *singleTable > 0 {
+		// Fleet-MLA generation is one rng stream per DB, not sharded.
+		shardSize = 0
+		fmt.Printf("fleet-MLA mode: per-DB single-stream generation (-shard not used), %d single-table queries/table\n", *singleTable)
+	}
 	meta := corpus.Meta{
 		Seed:      *seed,
-		ShardSize: *shard,
-		Note: fmt.Sprintf("mtmlf-datagen: %d dbs, %d queries/db, datagen %+v, workload %+v",
-			len(fleet), *queries, cfg, wcfg),
+		ShardSize: shardSize,
+		Note: fmt.Sprintf("mtmlf-datagen: %d dbs, %d queries/db, %d single-table/table, datagen %+v, workload %+v",
+			len(fleet), *queries, *singleTable, cfg, wcfg),
+	}
+	if *singleTable > 0 {
+		// Echo the MLA generation parameters so training runs can
+		// reproduce the live fallback generation exactly.
+		meta.SingleTablePerTable = *singleTable
+		meta.MLAWorkload = wcfg
 	}
 	w, err := corpus.NewWriter(f, meta)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	for i, db := range fleet {
-		t0 := time.Now()
-		if err := w.BeginDB(db); err != nil {
-			log.Fatal(err)
+	if *singleTable > 0 {
+		// Fleet-MLA mode: per-DB single-table sections + the Algorithm 1
+		// workload, generated DB-parallel on the pool, written in order.
+		mlaOpts := mtmlf.MLAOptions{
+			QueriesPerDB:        *queries,
+			SingleTablePerTable: *singleTable,
+			Workload:            wcfg,
+			Seed:                *seed,
 		}
-		// The per-DB workload seed is offset the same way GenerateFleet
-		// offsets database seeds, so every (database, workload) pair is
-		// reproducible from the master seed alone.
-		qseed := *seed + 1000 + int64(i)*7919
-		examples := workload.GenerateSharded(catalog.NewMemory(db), qseed, *queries, *shard, wcfg)
-		for _, lq := range examples {
-			if err := w.AppendExample(lq); err != nil {
+		sts := make([][]workload.TableWorkload, len(fleet))
+		exs := make([][]*workload.LabeledQuery, len(fleet))
+		parallel.For(len(fleet), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sts[i], exs[i] = mtmlf.GenMLAData(catalog.NewMemory(fleet[i]), mlaOpts, i)
+			}
+		})
+		for i, db := range fleet {
+			if err := w.BeginDB(db); err != nil {
 				log.Fatal(err)
 			}
+			if err := w.WriteSingleTable(sts[i]); err != nil {
+				log.Fatal(err)
+			}
+			for _, lq := range exs[i] {
+				if err := w.AppendExample(lq); err != nil {
+					log.Fatal(err)
+				}
+			}
+			nst := 0
+			for _, tw := range sts[i] {
+				nst += len(tw.Queries)
+			}
+			fmt.Printf("labeled %s: %d examples + %d single-table queries\n", db.Name, len(exs[i]), nst)
 		}
-		fmt.Printf("labeled %s: %d examples in %v\n", db.Name, len(examples), time.Since(t0).Round(time.Millisecond))
+	} else {
+		for i, db := range fleet {
+			t0 := time.Now()
+			if err := w.BeginDB(db); err != nil {
+				log.Fatal(err)
+			}
+			// The per-DB workload seed is offset the same way GenerateFleet
+			// offsets database seeds, so every (database, workload) pair is
+			// reproducible from the master seed alone.
+			qseed := *seed + 1000 + int64(i)*7919
+			examples := workload.GenerateSharded(catalog.NewMemory(db), qseed, *queries, *shard, wcfg)
+			for _, lq := range examples {
+				if err := w.AppendExample(lq); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("labeled %s: %d examples in %v\n", db.Name, len(examples), time.Since(t0).Round(time.Millisecond))
+		}
 	}
 	if err := w.Close(); err != nil {
 		log.Fatal(err)

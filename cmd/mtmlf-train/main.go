@@ -22,6 +22,19 @@
 //	            [-seqloss] [-workers 0] [-batch 1]
 //	            [-corpus corpus.mtc] [-db name] [-corpus-mode stream]
 //	            [-loss-out losses.txt]
+//	            [-mla] [-encoder-epochs 2] [-st-per-table 40]
+//
+// -mla switches to fleet pretraining (Algorithm 1) over EVERY
+// database of a -corpus artifact: per-DB featurizers pre-train from
+// the corpus's cached single-table sections (v2; v1 corpora fall back
+// to live generation), then the shared (S)+(T) modules train on the
+// pooled example stream (mtmlf.TrainMLAStream) without ever
+// materializing the fleet workload. The MLA seed comes from the
+// corpus Meta record, so the run reproduces the in-memory
+// TrainMLA(seed) bitwise; -corpus-mode inmem materializes the per-DB
+// workloads first and must produce the identical trajectory and
+// checkpoint, which `make mla-smoke` asserts. -save then writes the
+// shared-only transfer checkpoint — the paper's cloud artifact.
 //
 // -save writes a versioned FULL-model checkpoint: the shared stack,
 // both task heads, the join-order decoder, and the per-database
@@ -73,10 +86,32 @@ func main() {
 	dbName := flag.String("db", "", "corpus database to train on (default: first)")
 	corpusMode := flag.String("corpus-mode", "stream", "corpus example delivery: stream (from disk) or inmem (materialized)")
 	lossOut := flag.String("loss-out", "", "write the per-example loss trajectory (hex float64 per line) to this file")
+	mla := flag.Bool("mla", false, "fleet pretraining: run Algorithm 1 over every database of the -corpus artifact")
+	encEpochs := flag.Int("encoder-epochs", 2, "per-table encoder pre-training epochs (-mla)")
+	stPerTable := flag.Int("st-per-table", 40, "single-table queries per table for the -mla live-pretrain fallback on corpora whose Meta predates the recorded generation parameters")
 	flag.Parse()
 
 	tensor.SetParallelism(*workers)
 	start := time.Now()
+
+	if *mla {
+		// Fail loudly on flags the MLA path does not honor — silently
+		// ignoring -load would hand back a from-scratch model when the
+		// user asked to continue from a checkpoint.
+		switch {
+		case *loadPath != "":
+			log.Fatal("-mla pretrains the shared modules from scratch; it cannot resume from -load")
+		case *dbName != "":
+			log.Fatal("-mla pools every database of the corpus; -db selects a single one (drop -mla or -db)")
+		case *seqLoss:
+			log.Fatal("-mla uses the Algorithm 1 token-level join-order loss; -seqloss is not supported")
+		case *sharedOnly:
+			log.Fatal("-mla checkpoints are always shared-only; drop -shared-only")
+		}
+		trainMLA(*corpusPath, *corpusMode, *epochs, *encEpochs, *stPerTable, *batch, *seed, *savePath, *lossOut)
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	// --- data plane: pick a catalog backend and an example source ---
 	var (
@@ -242,6 +277,103 @@ func main() {
 		}
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// trainMLA is the -mla mode: Algorithm 1 fleet pretraining from one
+// corpus artifact. Every database of the corpus joins the pool; the
+// featurizers pre-train from the v2 single-table sections when the
+// corpus has them (v1: live fallback); and the joint loop streams the
+// pooled examples from disk ("stream") or from materialized slices
+// ("inmem") — bitwise-identically either way.
+func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batch int, seed int64, savePath, lossOut string) {
+	if corpusPath == "" {
+		log.Fatal("-mla requires -corpus (a fleet artifact written by mtmlf-datagen -single-table)")
+	}
+	if corpusMode != "stream" && corpusMode != "inmem" {
+		log.Fatalf("unknown -corpus-mode %q (want stream or inmem)", corpusMode)
+	}
+	r, err := corpus.Open(corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumDBs() == 0 {
+		log.Fatalf("corpus %s holds no databases; nothing to pretrain on", corpusPath)
+	}
+	cats := make([]catalog.Catalog, r.NumDBs())
+	srcs := make([]workload.Source, r.NumDBs())
+	total := 0
+	for i := 0; i < r.NumDBs(); i++ {
+		c, err := r.Catalog(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cats[i] = c
+		ex := c.Examples()
+		if corpusMode == "inmem" {
+			slice, err := workload.Materialize(ex)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srcs[i] = workload.SliceSource(slice)
+		} else {
+			srcs[i] = ex
+		}
+		total += ex.Len()
+	}
+	// The MLA seed is the corpus's generation seed, so this run
+	// reproduces the in-memory TrainMLA over the same fleet bitwise;
+	// -seed only varies the shared-module initialization. Fleet-MLA
+	// corpora (datagen -single-table) also echo their workload config
+	// and per-table count into Meta, so the live (F)-pretrain fallback
+	// on a section-less (v1) file regenerates the exact draws of
+	// generation time; -st-per-table and the default workload config
+	// only apply to corpora that predate that record.
+	meta := r.Meta()
+	mlaSeed := meta.Seed
+	wcfg := workload.DefaultConfig()
+	if meta.SingleTablePerTable > 0 {
+		wcfg = meta.MLAWorkload
+		stPerTable = meta.SingleTablePerTable
+	}
+	fmt.Printf("corpus %s (v%d): %d databases, %d pooled examples, mla seed %d, mode %s\n",
+		corpusPath, r.Version(), r.NumDBs(), total, mlaSeed, corpusMode)
+
+	shared := mtmlf.NewShared(mtmlf.DefaultConfig(), seed)
+	opts := mtmlf.MLAOptions{
+		SingleTablePerTable: stPerTable,
+		EncoderEpochs:       encEpochs,
+		JointEpochs:         epochs,
+		Workload:            wcfg,
+		Seed:                mlaSeed,
+		BatchSize:           batch,
+		RecordTrajectory:    lossOut != "",
+	}
+	fmt.Printf("fleet pretraining: (F) per DB, then joint (S)+(T) over the pooled stream (%d epochs)...\n", epochs)
+	tasks, st, err := mtmlf.TrainMLAStream(shared, cats, srcs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pretrained on %d databases: %d steps, final running loss %.3f\n", len(tasks), st.Steps, st.FinalLoss)
+	if lossOut != "" {
+		if err := writeTrajectory(lossOut, st.Trajectory); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-step loss trajectory to %s\n", len(st.Trajectory), lossOut)
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mtmlf.SaveShared(f, tasks[0].Model); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved shared-only (transfer) checkpoint to %s\n", savePath)
+	}
 }
 
 // writeTrajectory writes one hex-formatted float64 per line. Hex

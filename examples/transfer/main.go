@@ -51,7 +51,11 @@ func main() {
 		Seed:                3,
 	}
 	fmt.Println("running MLA (Algorithm 1) over the fleet...")
-	mtmlf.TrainMLA(shared, trainDBs, opts)
+	if _, st, err := mtmlf.TrainMLA(shared, trainDBs, opts); err != nil {
+		panic(err)
+	} else {
+		fmt.Printf("MLA joint loop: %d steps, final running loss %.3f\n", st.Steps, st.FinalLoss)
+	}
 
 	// User side: attach the new DB — train its (F) module only, then
 	// fine-tune the shared modules on a small local workload.

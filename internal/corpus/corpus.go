@@ -15,11 +15,32 @@
 //	...        per database, in order:
 //	             one schema stream: dbRecord (name, columnar tables,
 //	             join edges, fact tables)
+//	             [v2] one OPTIONAL single-table stream: the per-table
+//	             encoder pre-training workloads ([]workload.TableWorkload)
 //	             one stream PER EXAMPLE: the workload.LabeledQuery
 //	...        footer stream: the index — every database's schema
-//	           offset and per-example offsets
+//	           offset, optional single-table offset, and per-example
+//	           offsets
 //	end-16     trailer: big-endian footer offset (8 bytes) + trailer
 //	           magic "MTCORPV1" (8 bytes)
+//
+// # Versions
+//
+// The header's version field gates the format. Version 1 has no
+// single-table sections; version 2 adds one optional single-table
+// stream per database, between the schema stream and the first
+// example, located by the index's SingleOff field (0 = absent). A v2
+// reader accepts both versions; v1 files simply report no
+// single-table data, so consumers fall back to generating it live
+// (featurize.PretrainAll instead of PretrainAllFrom). NewWriterVersion
+// still writes v1 files for compatibility tests and older readers.
+//
+// Opening validates the whole index before any section is decoded:
+// every database range must lie inside the file, example offsets must
+// be strictly increasing inside their database's range, and section
+// order must be schema < single-table < examples. A corrupt index
+// fails at Open with a *CorruptError instead of panicking later in
+// the serving or training process.
 //
 // Every section being its own gob stream is what makes the format
 // seekable: the reader jumps to any example's offset and decodes just
@@ -39,13 +60,16 @@ import (
 	"fmt"
 
 	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
 )
 
 const (
 	// Magic identifies a corpus header stream.
 	Magic = "MTMLF-CORPUS"
 	// Version is the current (and maximum readable) format version.
-	Version = 1
+	// v1: schema + examples; v2: adds the optional per-DB single-table
+	// pre-training section.
+	Version = 2
 	// trailerMagic closes the file; a torn or truncated write fails
 	// loudly at open instead of gob-decoding garbage.
 	trailerMagic = "MTCORPV1"
@@ -54,15 +78,27 @@ const (
 )
 
 // Meta describes a corpus's provenance, echoed into the file at write
-// time and returned by Reader.Meta.
+// time and returned by Reader.Meta. Gob ignores fields the decoder's
+// type lacks and zero-fills fields the stream lacks, so adding fields
+// here stays wire-compatible in both directions.
 type Meta struct {
 	// Seed is the master seed the corpus was generated from.
 	Seed int64
 	// ShardSize is the workload generation shard size (the unit of the
-	// deterministic seed scheme; see workload.ShardSeed).
+	// deterministic seed scheme; see workload.ShardSeed). 0 for
+	// fleet-MLA corpora, whose generation is per-DB single-stream.
 	ShardSize int
 	// Note is free-form provenance (generator settings echo).
 	Note string
+	// SingleTablePerTable and MLAWorkload record the Algorithm 1
+	// generation parameters of a fleet-MLA corpus (mtmlf-datagen
+	// -single-table): SingleTablePerTable > 0 marks the corpus as one
+	// and MLAWorkload is the workload config every draw used — what a
+	// training run needs to reproduce the live (F)-pretrain fallback
+	// bitwise when the single-table sections are absent (v1 file).
+	// Zero on corpora that predate v2 or were not generated for MLA.
+	SingleTablePerTable int
+	MLAWorkload         workload.Config
 }
 
 // dbRecord is the on-wire schema + columnar data of one database.
@@ -97,6 +133,47 @@ type dbIndex struct {
 	Off         int64
 	ExampleOffs []int64
 	End         int64
+	// SingleOff is the offset of the optional single-table
+	// pre-training stream (v2); 0 means absent. Gob leaves absent
+	// fields zero, so v1 footers decode with SingleOff == 0 — exactly
+	// the "no section" encoding.
+	SingleOff int64
+}
+
+// schemaEnd returns the offset one past the schema stream: the next
+// section in file order (single-table stream, first example, or the
+// database's end).
+func (d *dbIndex) schemaEnd() int64 {
+	if d.SingleOff > 0 {
+		return d.SingleOff
+	}
+	if len(d.ExampleOffs) > 0 {
+		return d.ExampleOffs[0]
+	}
+	return d.End
+}
+
+// singleEnd returns the offset one past the single-table stream.
+func (d *dbIndex) singleEnd() int64 {
+	if len(d.ExampleOffs) > 0 {
+		return d.ExampleOffs[0]
+	}
+	return d.End
+}
+
+// CorruptError reports a structurally invalid corpus index caught at
+// open time, before any section is decoded. It exists so callers can
+// distinguish "this file is damaged" (errors.As) from I/O errors and
+// version mismatches.
+type CorruptError struct {
+	// Reason describes the failed invariant.
+	Reason string
+}
+
+func (e *CorruptError) Error() string { return "corpus: corrupt corpus: " + e.Reason }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
 }
 
 // footer is the seekable index written at the end of the file.

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"os"
@@ -337,4 +338,267 @@ func TestCatalogByNameAndBounds(t *testing.T) {
 	if _, err := ex.Example(ex.Len()); err == nil {
 		t.Fatal("expected error past end")
 	}
+}
+
+// singleTableSet builds a small deterministic pre-training set for db.
+func singleTableSet(db *sqldb.DB, seed int64, perTable int) []workload.TableWorkload {
+	gen := workload.NewGeneratorFrom(catalog.NewMemory(db), seed)
+	return gen.GenPretrainSet(perTable, workload.DefaultConfig())
+}
+
+// TestSingleTableRoundTrip: the v2 single-table section reproduces
+// the stored pre-training workloads exactly, and databases written
+// without one report ok=false.
+func TestSingleTableRoundTrip(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 5
+	cfg.MinRows, cfg.MaxRows = 60, 120
+	fleet := datagen.GenerateFleet(17, 2, cfg)
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 3
+	want := singleTableSet(fleet[0], 18, 4)
+	dbs := []*Database{
+		{DB: fleet[0], SingleTable: want,
+			Examples: workload.GenerateSharded(catalog.NewMemory(fleet[0]), 19, 3, 2, wcfg)},
+		{DB: fleet[1], // no single-table section
+			Examples: workload.GenerateSharded(catalog.NewMemory(fleet[1]), 20, 3, 2, wcfg)},
+	}
+	path := filepath.Join(t.TempDir(), "v2.mtc")
+	if err := WriteFile(path, Meta{Seed: 17}, dbs); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != Version {
+		t.Fatalf("version %d, want %d", r.Version(), Version)
+	}
+	c0, err := r.Catalog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c0.SingleTable()
+	if err != nil || !ok {
+		t.Fatalf("single-table section missing: ok=%v err=%v", ok, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("table count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Table != want[i].Table || len(got[i].Queries) != len(want[i].Queries) {
+			t.Fatalf("table %d identity differs: %q/%d vs %q/%d",
+				i, got[i].Table, len(got[i].Queries), want[i].Table, len(want[i].Queries))
+		}
+		for j := range want[i].Queries {
+			a, b := want[i].Queries[j], got[i].Queries[j]
+			if a.Table != b.Table || len(a.Filters) != len(b.Filters) ||
+				math.Float64bits(a.Card) != math.Float64bits(b.Card) ||
+				math.Float64bits(a.Frac) != math.Float64bits(b.Frac) {
+				t.Fatalf("%s query %d differs: %+v vs %+v", want[i].Table, j, a, b)
+			}
+			for k := range a.Filters {
+				if a.Filters[k] != b.Filters[k] {
+					t.Fatalf("%s query %d filter %d differs", want[i].Table, j, k)
+				}
+			}
+		}
+	}
+	// Schema and examples still decode around the section.
+	if db := c0.DB(); db.Name != fleet[0].Name {
+		t.Fatalf("schema decode around single-table section: %q", db.Name)
+	}
+	ex, err := r.Examples(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalExamples(t, dbs[0].Examples[1], mustExample(t, ex, 1))
+	// DB without a section: ok=false, no error.
+	c1, err := r.Catalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c1.SingleTable(); ok || err != nil {
+		t.Fatalf("unexpected single-table section: ok=%v err=%v", ok, err)
+	}
+}
+
+func mustExample(t *testing.T, s *ExampleSet, i int) *workload.LabeledQuery {
+	t.Helper()
+	lq, err := s.Example(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lq
+}
+
+// TestV1StillReadable: the version gate — a file written at format
+// version 1 opens under the v2 reader, reports Version 1, decodes
+// schema + examples, rejects WriteSingleTable at write time, and
+// reports no single-table data.
+func TestV1StillReadable(t *testing.T) {
+	cfg := datagen.DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 4
+	cfg.MinRows, cfg.MaxRows = 60, 100
+	db := datagen.GenerateFleet(23, 1, cfg)[0]
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 3
+	examples := workload.GenerateSharded(catalog.NewMemory(db), 24, 4, 2, wcfg)
+
+	path := filepath.Join(t.TempDir(), "v1.mtc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriterVersion(f, Meta{Seed: 23}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSingleTable(singleTableSet(db, 25, 2)); err == nil {
+		t.Fatal("v1 writer must reject WriteSingleTable")
+	}
+	for _, lq := range examples {
+		if err := w.AppendExample(lq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 1 {
+		t.Fatalf("version %d, want 1", r.Version())
+	}
+	c, err := r.Catalog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.SingleTable(); ok || err != nil {
+		t.Fatalf("v1 file claims a single-table section: ok=%v err=%v", ok, err)
+	}
+	ex, err := r.Examples(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Len() != len(examples) {
+		t.Fatalf("v1 example count %d, want %d", ex.Len(), len(examples))
+	}
+	for i := range examples {
+		equalExamples(t, examples[i], mustExample(t, ex, i))
+	}
+
+	if _, err := NewWriterVersion(f, Meta{}, 3); err == nil {
+		t.Fatal("future version must be unwritable")
+	}
+}
+
+// writeCorrupted writes a tiny corpus whose in-memory index is
+// tampered with by corrupt just before the footer is encoded —
+// producing a structurally valid file with a lying index, the
+// corruption class that used to surface as a panic deep inside
+// DBCatalog.DB or ExampleSet.Example.
+func writeCorrupted(t *testing.T, corrupt func(dbs []dbIndex)) string {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 4
+	cfg.MinRows, cfg.MaxRows = 60, 100
+	db := datagen.GenerateFleet(29, 1, cfg)[0]
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 3
+	path := filepath.Join(t.TempDir(), "corrupt.mtc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, Meta{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSingleTable(singleTableSet(db, 30, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range workload.GenerateSharded(catalog.NewMemory(db), 31, 3, 2, wcfg) {
+		if err := w.AppendExample(lq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal the in-progress database entry so Close does not overwrite
+	// the tampered End, then corrupt the index Close will encode.
+	w.endDB()
+	corrupt(w.dbs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenRejectsCorruptIndex: every index invariant is validated at
+// Open, which must fail with a *CorruptError — never hand out a
+// Reader that panics later.
+func TestOpenRejectsCorruptIndex(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(dbs []dbIndex)
+	}{
+		{"example offsets not increasing", func(dbs []dbIndex) {
+			dbs[0].ExampleOffs[2] = dbs[0].ExampleOffs[1]
+		}},
+		{"example offset before schema", func(dbs []dbIndex) {
+			dbs[0].ExampleOffs[0] = dbs[0].Off
+		}},
+		{"example offset past db end", func(dbs []dbIndex) {
+			dbs[0].ExampleOffs[2] = dbs[0].End + 7
+		}},
+		{"db range past file", func(dbs []dbIndex) {
+			dbs[0].End = 1 << 40
+		}},
+		{"db offset negative", func(dbs []dbIndex) {
+			dbs[0].Off = -1
+		}},
+		{"single-table offset before schema", func(dbs []dbIndex) {
+			dbs[0].SingleOff = dbs[0].Off - 1
+		}},
+		{"single-table offset past examples", func(dbs []dbIndex) {
+			dbs[0].SingleOff = dbs[0].End - 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeCorrupted(t, tc.corrupt)
+			r, err := Open(path)
+			if err == nil {
+				r.Close()
+				t.Fatal("expected corrupt index to fail at Open")
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v (%T) is not a *CorruptError", err, err)
+			}
+		})
+	}
+	// A sane index still opens — the validator must not be overzealous.
+	path := writeCorrupted(t, func([]dbIndex) {})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
 }

@@ -17,15 +17,17 @@ import (
 )
 
 // Reader is seekable read access to a corpus file. Opening validates
-// the header, trailer, and index; table data and examples are decoded
-// on demand. All methods are safe for concurrent use — example reads
-// go through ReadAt, so any number of training workers can stream
-// from one Reader.
+// the header, trailer, and the whole index (see validateIndex), so a
+// structurally corrupt file fails at Open with a *CorruptError; table
+// data and examples are decoded on demand. All methods are safe for
+// concurrent use — example reads go through ReadAt, so any number of
+// training workers can stream from one Reader.
 type Reader struct {
-	ra    io.ReaderAt
-	meta  Meta
-	index []dbIndex
-	cats  []*DBCatalog
+	ra      io.ReaderAt
+	meta    Meta
+	version int
+	index   []dbIndex
+	cats    []*DBCatalog
 
 	closer io.Closer // set when Open owns the file
 }
@@ -70,7 +72,8 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	}
 	// Header: magic/version preamble + meta.
 	hdr := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, 0, size)))
-	if _, err := nn.ReadHeader(hdr, Magic, Version); err != nil {
+	version, err := nn.ReadHeader(hdr, Magic, Version)
+	if err != nil {
 		return nil, fmt.Errorf("corpus: not a corpus file: %w", err)
 	}
 	var meta Meta
@@ -83,11 +86,54 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	if err := dec.Decode(&ft); err != nil {
 		return nil, fmt.Errorf("corpus: read footer: %w", err)
 	}
-	r := &Reader{ra: ra, meta: meta, index: ft.DBs, cats: make([]*DBCatalog, len(ft.DBs))}
+	if err := validateIndex(ft.DBs, footerOff); err != nil {
+		return nil, err
+	}
+	r := &Reader{ra: ra, meta: meta, version: version, index: ft.DBs, cats: make([]*DBCatalog, len(ft.DBs))}
 	for i := range r.cats {
 		r.cats[i] = &DBCatalog{r: r, idx: i}
 	}
 	return r, nil
+}
+
+// validateIndex checks every structural invariant of the footer index
+// before any section is decoded: database ranges are in file order and
+// inside the data region (before the footer), section order inside a
+// database is schema < single-table < examples, and example offsets
+// are strictly increasing inside [Off, End). A violated invariant
+// means the file is corrupt (torn write, bit rot, hostile input); it
+// fails here with a *CorruptError instead of panicking later when
+// DBCatalog.DB or ExampleSet.Example slices a bogus byte range.
+func validateIndex(dbs []dbIndex, footerOff int64) error {
+	prevEnd := int64(0)
+	for i := range dbs {
+		d := &dbs[i]
+		if d.Off <= 0 || d.End <= d.Off || d.End > footerOff {
+			return corruptf("database %d (%q): range [%d, %d) outside data region (0, %d]",
+				i, d.Name, d.Off, d.End, footerOff)
+		}
+		if d.Off < prevEnd {
+			return corruptf("database %d (%q): offset %d overlaps previous database ending at %d",
+				i, d.Name, d.Off, prevEnd)
+		}
+		prevEnd = d.End
+		if d.SingleOff != 0 && (d.SingleOff <= d.Off || d.SingleOff >= d.singleEnd()) {
+			return corruptf("database %d (%q): single-table offset %d outside (%d, %d)",
+				i, d.Name, d.SingleOff, d.Off, d.singleEnd())
+		}
+		lo := d.Off
+		if d.SingleOff > 0 {
+			lo = d.SingleOff
+		}
+		for j, off := range d.ExampleOffs {
+			if off <= lo || off >= d.End {
+				return corruptf("database %d (%q): example %d offset %d outside (%d, %d)",
+					i, d.Name, j, off, lo, d.End)
+			}
+			lo = off
+		}
+	}
+	return nil
 }
 
 // Close releases the underlying file when the reader owns one (Open).
@@ -100,6 +146,9 @@ func (r *Reader) Close() error {
 
 // Meta returns the corpus provenance record.
 func (r *Reader) Meta() Meta { return r.meta }
+
+// Version returns the file's format version (1 or 2).
+func (r *Reader) Version() int { return r.version }
 
 // NumDBs returns the number of databases in the corpus.
 func (r *Reader) NumDBs() int { return len(r.index) }
@@ -172,12 +221,8 @@ var _ catalog.Catalog = (*DBCatalog)(nil)
 func (c *DBCatalog) load() error {
 	c.dbOnce.Do(func() {
 		d := c.r.index[c.idx]
-		end := d.End
-		if len(d.ExampleOffs) > 0 {
-			end = d.ExampleOffs[0]
-		}
 		var rec dbRecord
-		if err := c.r.section(d.Off, end).Decode(&rec); err != nil {
+		if err := c.r.section(d.Off, d.schemaEnd()).Decode(&rec); err != nil {
 			c.dbErr = fmt.Errorf("corpus: decode database %q: %w", d.Name, err)
 			return
 		}
@@ -191,7 +236,9 @@ func (c *DBCatalog) Name() string { return c.r.index[c.idx].Name }
 
 // DB implements catalog.Catalog. Catalogs are handed out by
 // Reader.Catalog, which fails on decode errors, so DB never returns
-// nil on a loaded catalog.
+// nil on a loaded catalog; and NewReader validates every byte range
+// in the index up front, so a corrupt file fails at Open rather than
+// reaching this panic.
 func (c *DBCatalog) DB() *sqldb.DB {
 	if err := c.load(); err != nil {
 		panic(err)
@@ -211,6 +258,21 @@ func (c *DBCatalog) Stats() *stats.DBStats {
 // Examples returns this database's workload source.
 func (c *DBCatalog) Examples() *ExampleSet {
 	return &ExampleSet{r: c.r, d: &c.r.index[c.idx]}
+}
+
+// SingleTable returns this database's cached encoder pre-training
+// workloads (the v2 single-table section). ok is false when the file
+// predates v2 or was written without the section — consumers then
+// fall back to generating the data live (featurize.PretrainAll).
+func (c *DBCatalog) SingleTable() (data []workload.TableWorkload, ok bool, err error) {
+	d := &c.r.index[c.idx]
+	if d.SingleOff == 0 {
+		return nil, false, nil
+	}
+	if err := c.r.section(d.SingleOff, d.singleEnd()).Decode(&data); err != nil {
+		return nil, false, fmt.Errorf("corpus: decode single-table section of %q: %w", d.Name, err)
+	}
+	return data, true, nil
 }
 
 // ExampleSet is one database's pre-labeled workload, streamed from

@@ -32,26 +32,39 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // sequential (one goroutine); generation can still be parallel —
 // produce shards concurrently, append them in order.
 type Writer struct {
-	cw     *countWriter
-	flush  *bufio.Writer
-	dbs    []dbIndex
-	open   bool
-	closed bool
+	cw      *countWriter
+	flush   *bufio.Writer
+	dbs     []dbIndex
+	version int
+	open    bool
+	closed  bool
 }
 
-// NewWriter writes the header and returns a corpus writer. The caller
-// owns the underlying writer (Close does not close it).
+// NewWriter writes the header and returns a corpus writer for the
+// current format version. The caller owns the underlying writer
+// (Close does not close it).
 func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	return NewWriterVersion(w, meta, Version)
+}
+
+// NewWriterVersion writes a corpus at an explicit format version in
+// [1, Version] — the escape hatch for producing files older readers
+// (and the backward-compatibility tests) can consume. A v1 writer
+// rejects WriteSingleTable, since v1 has no such section.
+func NewWriterVersion(w io.Writer, meta Meta, version int) (*Writer, error) {
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("corpus: cannot write version %d (supported 1..%d)", version, Version)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	cw := &countWriter{w: bw}
 	enc := gob.NewEncoder(cw)
-	if err := nn.WriteHeader(enc, Magic, Version); err != nil {
+	if err := nn.WriteHeader(enc, Magic, version); err != nil {
 		return nil, fmt.Errorf("corpus: write header: %w", err)
 	}
 	if err := enc.Encode(meta); err != nil {
 		return nil, fmt.Errorf("corpus: write meta: %w", err)
 	}
-	return &Writer{cw: cw, flush: bw}, nil
+	return &Writer{cw: cw, flush: bw, version: version}, nil
 }
 
 // BeginDB starts a new database section, writing its schema and
@@ -65,6 +78,35 @@ func (w *Writer) BeginDB(db *sqldb.DB) error {
 	w.open = true
 	if err := encodeSection(w.cw, toRecord(db)); err != nil {
 		return fmt.Errorf("corpus: write database %q: %w", db.Name, err)
+	}
+	return nil
+}
+
+// WriteSingleTable writes the current database's single-table
+// pre-training section (v2): the per-table encoder workloads that let
+// mtmlf-train -corpus skip the live (F) pre-training pass. It must be
+// called after BeginDB and before the database's first AppendExample,
+// at most once per database.
+func (w *Writer) WriteSingleTable(data []workload.TableWorkload) error {
+	if w.closed {
+		return fmt.Errorf("corpus: writer closed")
+	}
+	if !w.open {
+		return fmt.Errorf("corpus: WriteSingleTable before BeginDB")
+	}
+	if w.version < 2 {
+		return fmt.Errorf("corpus: version %d has no single-table section (need v2)", w.version)
+	}
+	d := &w.dbs[len(w.dbs)-1]
+	if len(d.ExampleOffs) > 0 {
+		return fmt.Errorf("corpus: WriteSingleTable after AppendExample for %q", d.Name)
+	}
+	if d.SingleOff > 0 {
+		return fmt.Errorf("corpus: duplicate single-table section for %q", d.Name)
+	}
+	d.SingleOff = w.cw.n
+	if err := encodeSection(w.cw, data); err != nil {
+		return fmt.Errorf("corpus: write single-table section of %q: %w", d.Name, err)
 	}
 	return nil
 }
@@ -114,11 +156,15 @@ func (w *Writer) Close() error {
 	return w.flush.Flush()
 }
 
-// Database pairs one database with its labeled workload, for the
+// Database pairs one database with its labeled workload (and,
+// optionally, its v2 single-table pre-training section), for the
 // convenience writer.
 type Database struct {
 	DB       *sqldb.DB
 	Examples []*workload.LabeledQuery
+	// SingleTable, when non-nil, is written as the database's v2
+	// single-table section.
+	SingleTable []workload.TableWorkload
 }
 
 // WriteFile writes a whole corpus to path in one call.
@@ -139,6 +185,11 @@ func WriteFile(path string, meta Meta, dbs []*Database) (err error) {
 	for _, d := range dbs {
 		if err := w.BeginDB(d.DB); err != nil {
 			return err
+		}
+		if d.SingleTable != nil {
+			if err := w.WriteSingleTable(d.SingleTable); err != nil {
+				return err
+			}
 		}
 		for _, lq := range d.Examples {
 			if err := w.AppendExample(lq); err != nil {

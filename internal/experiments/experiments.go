@@ -455,7 +455,9 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 
 	// MLA pre-training on the training fleet (Algorithm 1).
 	shared := mtmlf.NewShared(cfg.Model, cfg.Seed+300)
-	mtmlf.TrainMLA(shared, trainDBs, mlaOpts)
+	if _, _, err := mtmlf.TrainMLA(shared, trainDBs, mlaOpts); err != nil {
+		return nil, err
+	}
 
 	// Attach the held-out DB: train its (F) module, then fine-tune the
 	// shared modules gently (low learning rate — the pre-trained

@@ -284,14 +284,57 @@ func (f *Featurizer) PretrainEncoder(table string, data []workload.SingleTableQu
 }
 
 // PretrainAll trains every table encoder on freshly generated
-// single-table workloads (Algorithm 1 line 4).
+// single-table workloads (Algorithm 1 line 4). It is the live twin of
+// PretrainAllFrom: the workloads are drawn from gen (in table order,
+// one rng stream) and consumed immediately instead of being loaded
+// from a corpus. Encoder training consumes no randomness, so
+// generate-then-train here is bitwise identical to the historical
+// interleaved loop.
 func (f *Featurizer) PretrainAll(gen *workload.Generator, perTable, epochs int, cfg workload.Config) []PretrainResult {
-	var out []PretrainResult
-	for _, t := range f.DB.Tables {
-		data := gen.GenSingleTable(t.Name, perTable, cfg)
-		out = append(out, f.PretrainEncoder(t.Name, data, epochs))
+	out, err := f.PretrainAllFrom(gen.GenPretrainSet(perTable, cfg), epochs)
+	if err != nil {
+		// Unreachable: the set was generated from this featurizer's own
+		// table list.
+		panic(err)
 	}
 	return out
+}
+
+// PretrainAllFrom trains the table encoders on pre-generated
+// single-table workloads — the corpus v2 path, where the data was
+// produced once at datagen time (workload.Generator.GenPretrainSet)
+// and shipped in the artifact, so a training run skips the live (F)
+// generation pass entirely. Training from a stored set is bitwise
+// identical to PretrainAll over the generator that produced it.
+//
+// The set must cover every table exactly once: an encoder a partial
+// section silently skipped would serve from its random
+// initialization, the failure class this module's checkpoint
+// validation exists to prevent — so unknown, duplicate, and missing
+// tables are all errors, and no encoder is touched before the set
+// validates.
+func (f *Featurizer) PretrainAllFrom(data []workload.TableWorkload, epochs int) ([]PretrainResult, error) {
+	seen := make(map[string]bool, len(data))
+	for _, tw := range data {
+		if _, ok := f.Encs[tw.Table]; !ok {
+			return nil, fmt.Errorf("featurize: pre-training data for unknown table %q", tw.Table)
+		}
+		if seen[tw.Table] {
+			return nil, fmt.Errorf("featurize: duplicate pre-training data for table %q", tw.Table)
+		}
+		seen[tw.Table] = true
+	}
+	for _, t := range f.DB.Tables {
+		if !seen[t.Name] {
+			return nil, fmt.Errorf("featurize: pre-training data missing table %q (%d tables covered, database has %d)",
+				t.Name, len(data), len(f.DB.Tables))
+		}
+	}
+	out := make([]PretrainResult, 0, len(data))
+	for _, tw := range data {
+		out = append(out, f.PretrainEncoder(tw.Table, tw.Queries, epochs))
+	}
+	return out, nil
 }
 
 // Params returns all encoder parameters (the database-specific

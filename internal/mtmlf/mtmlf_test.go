@@ -275,7 +275,7 @@ func TestMLARunsAndTransfers(t *testing.T) {
 	dbs := datagen.GenerateFleet(21, 2, dgCfg)
 	wcfg := workload.DefaultConfig()
 	wcfg.MaxTables = 3
-	tasks := TrainMLA(shared, dbs, MLAOptions{
+	tasks, st, err := TrainMLA(shared, dbs, MLAOptions{
 		QueriesPerDB:        8,
 		SingleTablePerTable: 5,
 		EncoderEpochs:       1,
@@ -283,8 +283,17 @@ func TestMLARunsAndTransfers(t *testing.T) {
 		Workload:            wcfg,
 		Seed:                22,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tasks) != 2 {
 		t.Fatal("task count wrong")
+	}
+	if st.Steps != 16 { // 2 DBs x 8 queries x 1 epoch
+		t.Fatalf("MLA joint loop ran %d steps, want 16", st.Steps)
+	}
+	if st.FinalLoss == 0 {
+		t.Fatal("MLA stats did not surface a final loss")
 	}
 	// Attach a new DB and fine-tune briefly; must not crash and must
 	// produce estimates.

@@ -1,6 +1,7 @@
 package mtmlf
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mtmlf/internal/ag"
@@ -70,18 +71,11 @@ func fetchInto(src workload.Source, batch []int, dst []*workload.LabeledQuery) e
 		}
 		return nil
 	}
-	errs := make([]error, len(batch))
-	parallel.For(len(batch), 1, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			dst[j], errs[j] = src.Example(batch[j])
-		}
+	return parallel.ForErr(len(batch), 1, func(j int) error {
+		var err error
+		dst[j], err = src.Example(batch[j])
+		return err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // TrainOptions controls joint training.
@@ -136,6 +130,25 @@ type TrainStats struct {
 	// Trajectory holds every example's loss in processing order when
 	// TrainOptions.RecordTrajectory is set (nil otherwise).
 	Trajectory []float64
+}
+
+// recordInto returns the per-example stats hook every streaming
+// trainer passes to runEpochs — the 0.95/0.05 EMA running loss, the
+// step count, and the optional bitwise trajectory — plus a finish
+// function that seals FinalLoss. One definition, so the eps=0
+// cross-path equivalence probes always compare identically computed
+// stats.
+func recordInto(st *TrainStats, trajectory bool) (after func(float64), finish func()) {
+	var running float64
+	after = func(loss float64) {
+		running = 0.95*running + 0.05*loss
+		st.Steps++
+		if trajectory {
+			st.Trajectory = append(st.Trajectory, loss)
+		}
+	}
+	finish = func() { st.FinalLoss = running }
+	return after, finish
 }
 
 // batchBackward computes per-example losses and gradients for one
@@ -255,19 +268,13 @@ func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainS
 	bs := opts.batchSize()
 	opt := nn.NewAdam(m.Shared.Params(), lr)
 	var st TrainStats
-	var running float64
+	after, finish := recordInto(&st, opts.RecordTrajectory)
 	cur := make([]*workload.LabeledQuery, bs)
 	err := runEpochs(opt, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
 		func(batch []int) error { return fetchInto(src, batch, cur) },
 		func(slot, _ int) *ag.Value { return m.jointLoss(cur[slot], opts.SeqLevelLoss) },
-		func(loss float64) {
-			running = 0.95*running + 0.05*loss
-			st.Steps++
-			if opts.RecordTrajectory {
-				st.Trajectory = append(st.Trajectory, loss)
-			}
-		})
-	st.FinalLoss = running
+		after)
+	finish()
 	return st, err
 }
 
@@ -278,9 +285,13 @@ func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainS
 // DBTask bundles one database's generator, featurizer, and labeled
 // workload for MLA.
 type DBTask struct {
-	DB      *sqldb.DB
-	Gen     *workload.Generator
-	Model   *Model // shares Shared with every other task
+	DB    *sqldb.DB
+	Gen   *workload.Generator
+	Model *Model // shares Shared with every other task
+	// Queries is the materialized multi-table workload on the
+	// in-memory path (NewDBTask). Corpus-backed tasks (TrainMLAStream)
+	// leave it nil — their examples stay on disk and stream through
+	// the epoch iterator one minibatch at a time.
 	Queries []*workload.LabeledQuery
 }
 
@@ -303,57 +314,190 @@ type MLAOptions struct {
 	// with the same semantics as TrainOptions.
 	BatchSize int
 	Workers   int
+	// RecordTrajectory keeps every pooled example's loss (in
+	// processing order) in TrainStats.Trajectory, with the same
+	// semantics as TrainOptions.RecordTrajectory — the eps=0 probe for
+	// comparing the in-memory and corpus-backed MLA paths.
+	RecordTrajectory bool
 }
+
+// taskSeed derives database i's task seed from the MLA master seed —
+// the one seed scheme NewDBTask, TrainMLAStream's live-pretrain
+// fallback, and GenMLAData all share, so a corpus written from
+// GenMLAData trains bitwise-identically to the live in-memory run.
+func (o MLAOptions) taskSeed(i int) int64 { return o.Seed + int64(i)*101 }
 
 // TrainMLA runs Algorithm 1: for each database it trains the
 // single-table encoders and builds a labeled workload (lines 3–6),
 // then trains the shared (S) and (T) modules on the pooled, shuffled
 // examples (lines 7–8). It returns the per-DB tasks so callers can
-// evaluate the shared modules on each database or attach a new one.
+// evaluate the shared modules on each database or attach a new one,
+// plus the joint loop's TrainStats (final running loss, steps, and —
+// with MLAOptions.RecordTrajectory — every pooled example's loss).
+// The error is the epoch iterator's: in-memory slice sources never
+// fail, but the shared joint loop is the same one the corpus-backed
+// path streams I/O through, and a half-trained model must never be
+// mistaken for a trained one.
 //
 // Per-DB preparation (encoder pre-training, workload labeling) is
 // independent across databases and fans out over the worker pool;
 // the joint loop is minibatch data-parallel like TrainJoint, with
 // the same worker-count-independent gradient reduction.
-func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) []*DBTask {
+func TrainMLA(shared *Shared, dbs []*sqldb.DB, opts MLAOptions) ([]*DBTask, TrainStats, error) {
 	tasks := make([]*DBTask, len(dbs))
 	parallel.For(len(dbs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			tasks[i] = NewDBTask(shared, dbs[i], opts, opts.Seed+int64(i)*101)
+			tasks[i] = NewDBTask(shared, dbs[i], opts, opts.taskSeed(i))
 		}
 	})
-	// Pool and shuffle (db, query) pairs (line 7).
+	srcs := make([]workload.Source, len(tasks))
+	for i, t := range tasks {
+		srcs[i] = workload.SliceSource(t.Queries)
+	}
+	st, err := trainMLAJoint(shared, tasks, srcs, opts)
+	return tasks, st, err
+}
+
+// TrainMLAStream is Algorithm 1 over the pluggable data plane: each
+// database arrives as a catalog.Catalog plus a workload.Source of
+// pre-labeled examples — corpus.DBCatalog with corpus.Reader.Examples
+// for fleet pretraining from one on-disk artifact, or in-memory
+// slices for tests and hybrids. cats[i] and srcs[i] describe the same
+// database.
+//
+// Per-DB preparation builds each featurizer exactly as NewDBTask does
+// (same init seed, same table order); the single-table pre-training
+// data comes from the catalog's cached corpus v2 section when present
+// (SingleTable) and is otherwise regenerated live from the task seed
+// — both bitwise-identical to the in-memory path. The joint loop then
+// pools the sources under one deterministic global index order
+// (workload.Concat: all of srcs[0], then srcs[1], …) and streams
+// minibatches through the shared epoch iterator, so the pooled fleet
+// workload is NEVER materialized and the trajectory and final shared
+// parameters are bitwise identical to TrainMLA on the same data at
+// any worker count.
+func TrainMLAStream(shared *Shared, cats []catalog.Catalog, srcs []workload.Source, opts MLAOptions) ([]*DBTask, TrainStats, error) {
+	if len(cats) != len(srcs) {
+		return nil, TrainStats{}, fmt.Errorf("mtmlf: %d catalogs but %d example sources", len(cats), len(srcs))
+	}
+	tasks := make([]*DBTask, len(cats))
+	if err := parallel.ForErr(len(cats), 1, func(i int) error {
+		var err error
+		tasks[i], err = newDBTaskFrom(shared, cats[i], opts, opts.taskSeed(i))
+		if err != nil {
+			return fmt.Errorf("mtmlf: prepare database %q: %w", cats[i].Name(), err)
+		}
+		return nil
+	}); err != nil {
+		return nil, TrainStats{}, err
+	}
+	st, err := trainMLAJoint(shared, tasks, srcs, opts)
+	return tasks, st, err
+}
+
+// singleTabler is implemented by catalog backends that carry cached
+// encoder pre-training data (corpus v2's per-DB single-table
+// section). ok=false means "generate it live instead".
+type singleTabler interface {
+	SingleTable() (data []workload.TableWorkload, ok bool, err error)
+}
+
+// newDBTaskFrom prepares one database for the streaming MLA path: the
+// featurizer is initialized and pre-trained exactly like NewDBTask's,
+// but the multi-table workload is left to the caller's Source (the
+// task's Queries stay nil) and the single-table data is loaded from
+// the catalog's corpus section when it has one.
+func newDBTaskFrom(shared *Shared, cat catalog.Catalog, opts MLAOptions, seed int64) (*DBTask, error) {
+	model := &Model{Shared: shared, Feat: featurize.NewFrom(cat, shared.Cfg.Feat, opts.Seed+7)}
+	gen := workload.NewGeneratorFrom(cat, seed)
+	var data []workload.TableWorkload
+	if st, ok := cat.(singleTabler); ok {
+		d, present, err := st.SingleTable()
+		if err != nil {
+			return nil, err
+		}
+		if present {
+			data = d
+		}
+	}
+	if data == nil {
+		// No cached section (v1 corpus, or a backend that never stores
+		// one): regenerate live. The draws are the prefix of the same
+		// rng stream NewDBTask consumes, so the encoders come out
+		// bitwise identical either way.
+		data = gen.GenPretrainSet(opts.SingleTablePerTable, opts.Workload)
+	}
+	if _, err := model.Feat.PretrainAllFrom(data, opts.EncoderEpochs); err != nil {
+		return nil, err
+	}
+	return &DBTask{DB: cat.DB(), Gen: gen, Model: model}, nil
+}
+
+// mlaLoss is the Algorithm 1 per-example loss: Equation 1 with the
+// token-level join-order term, built against the example's own
+// database task (its featurizer) and the shared modules.
+func mlaLoss(t *DBTask, lq *workload.LabeledQuery) *ag.Value {
+	m := t.Model
+	cfg := m.Shared.Cfg
+	rep := m.Represent(lq.Q, lq.Plan)
+	loss := ag.Scale(m.CardLoss(rep, lq), cfg.WCard)
+	loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, lq), cfg.WCost))
+	if cfg.WJo > 0 && len(lq.OptimalOrder) >= 2 {
+		loss = ag.Add(loss, ag.Scale(m.JoinOrderTokenLoss(rep, lq.OptimalOrder), cfg.WJo))
+	}
+	return loss
+}
+
+// trainMLAJoint is Algorithm 1 lines 7–8 over any source backend: the
+// per-DB sources are pooled under one deterministic global index
+// order (task order, each task's example order — exactly how the
+// in-memory path appended its pool), shuffled by seed, and streamed
+// through the shared epoch iterator. Each minibatch's (db, example)
+// pairs are fetched worker-parallel just before use and dropped
+// after, so only minibatch-sized state is ever live.
+func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts MLAOptions) (TrainStats, error) {
+	pool := workload.Concat(srcs...)
+	topts := TrainOptions{BatchSize: opts.BatchSize, Workers: opts.Workers}
+	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
+	bs := topts.batchSize()
 	type sample struct {
 		task *DBTask
 		lq   *workload.LabeledQuery
 	}
-	var pool []sample
-	for _, t := range tasks {
-		for _, lq := range t.Queries {
-			pool = append(pool, sample{t, lq})
-		}
-	}
-	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
-	topts := TrainOptions{BatchSize: opts.BatchSize, Workers: opts.Workers}
-	mlaLoss := func(s sample) *ag.Value {
-		m := s.task.Model
-		rep := m.Represent(s.lq.Q, s.lq.Plan)
-		loss := ag.Scale(m.CardLoss(rep, s.lq), shared.Cfg.WCard)
-		loss = ag.Add(loss, ag.Scale(m.CostLoss(rep, s.lq), shared.Cfg.WCost))
-		if shared.Cfg.WJo > 0 && len(s.lq.OptimalOrder) >= 2 {
-			loss = ag.Add(loss, ag.Scale(m.JoinOrderTokenLoss(rep, s.lq.OptimalOrder), shared.Cfg.WJo))
-		}
-		return loss
-	}
-	// The pooled pairs are in memory already (each task built them),
-	// so the epoch iterator runs with no prefetch stage; the shuffle,
-	// minibatching, and reduction are the same machinery TrainJoint
-	// streams corpora through.
-	_ = runEpochs(opt, len(pool), opts.JointEpochs, topts.batchSize(), topts.workers(), opts.Seed,
-		nil,
-		func(_, example int) *ag.Value { return mlaLoss(pool[example]) },
-		nil)
-	return tasks
+	cur := make([]sample, bs)
+	var st TrainStats
+	after, finish := recordInto(&st, opts.RecordTrajectory)
+	err := runEpochs(opt, pool.Len(), opts.JointEpochs, bs, topts.workers(), opts.Seed,
+		func(batch []int) error {
+			return parallel.ForErr(len(batch), 1, func(j int) error {
+				d, local, err := pool.Locate(batch[j])
+				if err != nil {
+					return err
+				}
+				lq, err := srcs[d].Example(local)
+				cur[j] = sample{tasks[d], lq}
+				return err
+			})
+		},
+		func(slot, _ int) *ag.Value { return mlaLoss(cur[slot].task, cur[slot].lq) },
+		after)
+	finish()
+	return st, err
+}
+
+// GenMLAData generates one database's Algorithm 1 training data in
+// the exact order NewDBTask consumes it: the per-table single-table
+// workloads first (table order), then the multi-table labeled
+// workload, all drawn from one rng stream seeded with the task seed
+// of database dbIndex. Writing its output into a corpus v2 file
+// (single-table section + examples) therefore yields an artifact that
+// TrainMLAStream trains from bitwise-identically to a live TrainMLA
+// run with the same options — the contract mtmlf-datagen
+// -single-table and `make mla-smoke` build on.
+func GenMLAData(cat catalog.Catalog, opts MLAOptions, dbIndex int) ([]workload.TableWorkload, []*workload.LabeledQuery) {
+	gen := workload.NewGeneratorFrom(cat, opts.taskSeed(dbIndex))
+	st := gen.GenPretrainSet(opts.SingleTablePerTable, opts.Workload)
+	return st, gen.Generate(opts.QueriesPerDB, opts.Workload)
 }
 
 // NewDBTask prepares one database for MLA or transfer: analyzing it,

@@ -77,7 +77,7 @@ func TestTrainMLAWorkerCountInvariant(t *testing.T) {
 		dbs := datagen.GenerateFleet(21, 2, dgCfg)
 		wcfg := workload.DefaultConfig()
 		wcfg.MaxTables = 3
-		TrainMLA(shared, dbs, MLAOptions{
+		if _, _, err := TrainMLA(shared, dbs, MLAOptions{
 			QueriesPerDB:        6,
 			SingleTablePerTable: 4,
 			EncoderEpochs:       1,
@@ -86,7 +86,9 @@ func TestTrainMLAWorkerCountInvariant(t *testing.T) {
 			Seed:                22,
 			BatchSize:           4,
 			Workers:             workers,
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		return shared
 	}
 	ref := run(1)

@@ -54,6 +54,31 @@ func Workers() int {
 	return workers
 }
 
+// ForErr runs f once per index of [0, n), worker-parallel with the
+// given grain, and returns the lowest-index error (nil if every call
+// succeeded). The per-index results land in private slots, so the
+// returned error depends only on the inputs — never on worker count
+// or scheduling. It is the fallible twin of For, for fan-outs whose
+// bodies can fail (storage-backed example decodes, per-database task
+// preparation).
+func ForErr(n, grain int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = f(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // pool snapshots the current token channel and size.
 func pool() (chan struct{}, int) {
 	mu.Lock()

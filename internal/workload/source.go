@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"mtmlf/internal/parallel"
 )
@@ -32,8 +33,14 @@ type SliceSource []*LabeledQuery
 // Len implements Source.
 func (s SliceSource) Len() int { return len(s) }
 
-// Example implements Source.
-func (s SliceSource) Example(i int) (*LabeledQuery, error) { return s[i], nil }
+// Example implements Source. Like the storage-backed sources, a bad
+// index is an error (the Source contract), never a panic.
+func (s SliceSource) Example(i int) (*LabeledQuery, error) {
+	if i < 0 || i >= len(s) {
+		return nil, fmt.Errorf("workload: example %d outside [0, %d)", i, len(s))
+	}
+	return s[i], nil
+}
 
 // SubSource restricts src to the half-open index range [lo, hi) — how
 // train/validation/test splits are expressed over a streaming corpus
@@ -60,6 +67,50 @@ func (s *subSource) Example(i int) (*LabeledQuery, error) {
 	return s.src.Example(s.lo + i)
 }
 
+// Concat pools sources into one Source with a deterministic global
+// index order: all of srcs[0]'s examples first, then srcs[1]'s, and
+// so on — the order Algorithm 1 pools per-database workloads in. The
+// pool is a view: nothing is materialized, and each access resolves
+// to exactly one underlying source, so a streaming epoch over a
+// multi-database corpus still touches one minibatch at a time.
+func Concat(srcs ...Source) *ConcatSource {
+	starts := make([]int, len(srcs)+1)
+	for i, s := range srcs {
+		starts[i+1] = starts[i] + s.Len()
+	}
+	return &ConcatSource{srcs: srcs, starts: starts}
+}
+
+// ConcatSource is the pooled multi-source Source built by Concat.
+type ConcatSource struct {
+	srcs   []Source
+	starts []int // starts[i] is the global index of srcs[i]'s first example
+}
+
+// Len implements Source.
+func (c *ConcatSource) Len() int { return c.starts[len(c.srcs)] }
+
+// Locate maps a global index to (source index, local index) — how the
+// MLA trainer finds which database (and therefore which featurizer) a
+// pooled example belongs to.
+func (c *ConcatSource) Locate(i int) (src, local int, err error) {
+	if i < 0 || i >= c.Len() {
+		return 0, 0, fmt.Errorf("workload: example %d outside [0, %d)", i, c.Len())
+	}
+	// First source whose start exceeds i, minus one.
+	s := sort.SearchInts(c.starts[1:], i+1)
+	return s, i - c.starts[s], nil
+}
+
+// Example implements Source.
+func (c *ConcatSource) Example(i int) (*LabeledQuery, error) {
+	s, local, err := c.Locate(i)
+	if err != nil {
+		return nil, err
+	}
+	return c.srcs[s].Example(local)
+}
+
 // Materialize fetches every example of a source into memory
 // (worker-parallel), for consumers that need slices — evaluation
 // loops, the legacy TrainJoint entry point, round-trip tests.
@@ -69,16 +120,12 @@ func Materialize(src Source) ([]*LabeledQuery, error) {
 	}
 	n := src.Len()
 	out := make([]*LabeledQuery, n)
-	errs := make([]error, n)
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i], errs[i] = src.Example(i)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := parallel.ForErr(n, 1, func(i int) error {
+		var err error
+		out[i], err = src.Example(i)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

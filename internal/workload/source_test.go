@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSliceSourceBounds: the Source contract says a bad index is an
+// error, never a panic — the trainer may be driven by a corrupt or
+// foreign index list, and the in-memory backend must fail the same
+// way the corpus backend does.
+func TestSliceSourceBounds(t *testing.T) {
+	src := SliceSource{&LabeledQuery{}, &LabeledQuery{}, &LabeledQuery{}}
+	if got, err := src.Example(2); err != nil || got == nil {
+		t.Fatalf("valid index failed: %v", err)
+	}
+	for _, i := range []int{-1, 3, 100} {
+		lq, err := src.Example(i)
+		if err == nil {
+			t.Fatalf("index %d: expected error, got example %v", i, lq)
+		}
+		if !strings.Contains(err.Error(), "outside [0, 3)") {
+			t.Fatalf("index %d: error %q does not name the valid range", i, err)
+		}
+	}
+}
+
+// TestConcatSourceOrderAndLocate: the pooled multi-source view must
+// expose a deterministic global order (source 0 first, then source 1,
+// …) and map global indices back to (source, local) pairs.
+func TestConcatSourceOrderAndLocate(t *testing.T) {
+	mk := func(n int, card float64) SliceSource {
+		out := make(SliceSource, n)
+		for i := range out {
+			out[i] = &LabeledQuery{Card: card + float64(i)}
+		}
+		return out
+	}
+	a, b, c := mk(3, 100), mk(0, 0), mk(2, 200)
+	pool := Concat(a, b, c)
+	if pool.Len() != 5 {
+		t.Fatalf("Len %d, want 5", pool.Len())
+	}
+	wantSrc := []int{0, 0, 0, 2, 2}
+	wantLocal := []int{0, 1, 2, 0, 1}
+	wantCard := []float64{100, 101, 102, 200, 201}
+	for gi := 0; gi < pool.Len(); gi++ {
+		s, l, err := pool.Locate(gi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != wantSrc[gi] || l != wantLocal[gi] {
+			t.Fatalf("Locate(%d) = (%d, %d), want (%d, %d)", gi, s, l, wantSrc[gi], wantLocal[gi])
+		}
+		lq, err := pool.Example(gi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lq.Card != wantCard[gi] {
+			t.Fatalf("Example(%d).Card = %v, want %v", gi, lq.Card, wantCard[gi])
+		}
+	}
+	if _, _, err := pool.Locate(5); err == nil {
+		t.Fatal("Locate past end should fail")
+	}
+	if _, err := pool.Example(-1); err == nil {
+		t.Fatal("Example(-1) should fail")
+	}
+}

@@ -361,6 +361,31 @@ type SingleTableQuery struct {
 	Frac float64
 }
 
+// TableWorkload pairs one table with its labeled single-table
+// workload — the unit of the encoder pre-training data set, and the
+// record the corpus v2 single-table section stores so training runs
+// can skip regenerating it.
+type TableWorkload struct {
+	Table   string
+	Queries []SingleTableQuery
+}
+
+// GenPretrainSet generates the per-table encoder pre-training
+// workloads for every table of the generator's database, in table
+// order — exactly the sequence of GenSingleTable draws
+// featurize.PretrainAll historically made from one rng stream, so
+// pre-training from this set (featurize.PretrainAllFrom) is bitwise
+// identical to pre-training live from the same generator, and the rng
+// ends in the same state (the queries generated afterwards match
+// too).
+func (g *Generator) GenPretrainSet(perTable int, cfg Config) []TableWorkload {
+	out := make([]TableWorkload, 0, len(g.DB.Tables))
+	for _, t := range g.DB.Tables {
+		out = append(out, TableWorkload{Table: t.Name, Queries: g.GenSingleTable(t.Name, perTable, cfg)})
+	}
+	return out
+}
+
 // GenSingleTable produces n labeled single-table queries for table.
 func (g *Generator) GenSingleTable(table string, n int, cfg Config) []SingleTableQuery {
 	tab := g.DB.Table(table)
