@@ -2,9 +2,9 @@
 # targets locally before pushing.
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus
+RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus ./internal/loadgen
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke load-smoke docs-lint ci
 
 all: build
 
@@ -68,4 +68,21 @@ corpus-smoke:
 mla-smoke:
 	./scripts/mla_smoke.sh
 
-ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke
+# End-to-end load check: train a tiny checkpoint, boot mtmlf-serve,
+# drive it with mtmlf-loadgen at two concurrency levels with a hot
+# reload mid-run, assert zero failed requests and a well-formed
+# BENCH_PR6.json (left for CI to upload).
+load-smoke:
+	./scripts/load_smoke.sh
+
+# Every package must open with a godoc package comment ("// Package x"
+# for libraries, "// Command x" for binaries) — the operator docs in
+# docs/OPERATIONS.md lean on godoc being readable.
+docs-lint:
+	@bad=0; for d in internal/* cmd/*; do \
+		[ -d "$$d" ] || continue; \
+		grep -lE '^// (Package|Command) ' "$$d"/*.go >/dev/null 2>&1 || \
+			{ echo "docs-lint: $$d has no package comment"; bad=1; }; \
+	done; [ "$$bad" = 0 ]
+
+ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke load-smoke docs-lint

@@ -7,13 +7,27 @@
 //	POST /estimate/card   cardinality of every plan node
 //	POST /estimate/cost   cost of every plan node
 //	POST /joinorder       legality-constrained beam-search join order
+//	POST /reloadz         hot-swap the checkpoint from disk (no downtime)
 //	GET  /healthz         liveness + served-database identity
-//	GET  /statsz          QPS, p50/p99 latency, batching + pool reuse
+//	GET  /statsz          QPS, p50/p95/p99 latency, shed/deadline/reload counters
 //	GET  /example         a valid random request body to POST back
 //
 // The -seed/-scale flags must match the training run: the featurizer
 // weights are tied to the database the checkpoint was trained on, and
 // the loader verifies the table list before serving.
+//
+// Under load the server degrades predictably instead of queuing
+// without bound: the admission queue is capped at -max-queue and a
+// full queue sheds with 429 (Retry-After: 1); a request carrying an
+// X-Deadline-Ms header that cannot be admitted in time is rejected
+// with 504 before any model compute. See docs/OPERATIONS.md for
+// sizing guidance and the full operator story.
+//
+// Hot reload: SIGHUP (or POST /reloadz) re-reads the -checkpoint path
+// and atomically swaps the new weights in; in-flight micro-batches
+// drain on the old model, so no request is dropped or served from a
+// mix of old and new weights. Retrain → overwrite the checkpoint file
+// → SIGHUP is the zero-downtime update loop.
 //
 // On SIGTERM/SIGINT the server shuts down gracefully: it stops
 // accepting, drains in-flight requests and micro-batches, and flushes
@@ -43,18 +57,32 @@ import (
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/serve"
+	"mtmlf/internal/sqldb"
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
 
+// loadCheckpoint reads a full-model checkpoint from path against db.
+// It is the boot loader and the hot-reload loader: /reloadz and
+// SIGHUP call it again on the same path after the file is replaced.
+func loadCheckpoint(path string, db *sqldb.DB) (*mtmlf.Model, *mtmlf.CheckpointInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return mtmlf.LoadModel(f, db)
+}
+
 func main() {
-	ckpt := flag.String("checkpoint", "", "full-model checkpoint written by mtmlf-train -save (required)")
+	ckpt := flag.String("checkpoint", "", "full-model checkpoint written by mtmlf-train -save (required); /reloadz and SIGHUP re-read this path")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	seed := flag.Int64("seed", 1, "database seed; must match the training run")
 	scale := flag.Float64("scale", 0.06, "database scale; must match the training run")
 	sessions := flag.Int("sessions", 0, "concurrent inference sessions (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("maxbatch", 8, "max requests fused per micro-batch (1 disables batching)")
 	window := flag.Duration("window", 200*time.Microsecond, "micro-batch fill window")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth; a full queue sheds with 429 (0 = 4x sessions)")
 	workers := flag.Int("workers", 0, "tensor-kernel worker pool size (0 = all cores)")
 	flag.Parse()
 
@@ -66,12 +94,7 @@ func main() {
 	tensor.SetParallelism(*workers)
 
 	db := datagen.SyntheticIMDB(*seed, *scale)
-	f, err := os.Open(*ckpt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	model, info, err := mtmlf.LoadModel(f, db)
-	f.Close()
+	model, info, err := loadCheckpoint(*ckpt, db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,12 +105,28 @@ func main() {
 		Sessions:    *sessions,
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
+		QueueDepth:  *maxQueue,
+		// An HTTP front end sheds; blocking admission is for
+		// in-process embedding (see serve.Options).
+		ShedOverload: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The example generator gives clients (and the smoke test) valid
+	// reload re-reads the checkpoint path; shared by /reloadz and
+	// SIGHUP. Engine.Reload does the atomic swap + compatibility check.
+	reload := func() (*mtmlf.Model, error) {
+		m, ri, err := loadCheckpoint(*ckpt, db)
+		if err != nil {
+			return nil, fmt.Errorf("reload %s: %w", *ckpt, err)
+		}
+		log.Printf("reloading checkpoint %s: v%d, db %q, dim %d",
+			*ckpt, ri.Version, ri.DBName, ri.Config.Dim)
+		return m, nil
+	}
+
+	// The example generator gives clients (and the smoke tests) valid
 	// request bodies without knowing the synthetic schema.
 	gen := workload.NewGenerator(db, *seed+1000)
 
@@ -96,7 +135,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &http.Server{
-		Handler: serve.NewHandler(engine, gen),
+		Handler: serve.NewHandlerConfig(engine, serve.HandlerConfig{Gen: gen, Reload: reload}),
 		// Slow-client guards; request bodies are additionally capped
 		// by the handler (http.MaxBytesReader).
 		ReadHeaderTimeout: 10 * time.Second,
@@ -106,6 +145,25 @@ func main() {
 	// Logged (not just printed) so supervisors and the smoke script
 	// can parse the bound port when -addr ends in :0.
 	log.Printf("serving on http://%s", ln.Addr())
+
+	// SIGHUP hot-reloads the checkpoint without dropping traffic; it
+	// gets its own channel so it never races the shutdown signals.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			m, err := reload()
+			if err != nil {
+				log.Printf("SIGHUP reload failed (still serving old weights): %v", err)
+				continue
+			}
+			if err := engine.Reload(m); err != nil {
+				log.Printf("SIGHUP reload rejected (still serving old weights): %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reload complete (%d total)", engine.Stats().Reloads)
+		}
+	}()
 
 	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, let active
 	// HTTP requests (and with them the engine's in-flight
@@ -132,12 +190,13 @@ func main() {
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
 		}
+		signal.Stop(hup)
 		engine.Close() // waits for every in-flight micro-batch
 		snap := engine.Stats()
 		if b, err := json.Marshal(snap); err == nil {
 			log.Printf("final statsz: %s", b)
 		}
-		log.Printf("drained: %d requests served, %d errors, %d micro-batches; bye",
-			snap.Requests, snap.Errors, snap.Batches)
+		log.Printf("drained: %d requests served, %d errors, %d shed, %d micro-batches; bye",
+			snap.Requests, snap.Errors, snap.Shed, snap.Batches)
 	}
 }

@@ -1,9 +1,11 @@
-// Package benchjson measures Go benchmark functions and writes a
-// machine-readable report (ns/op, allocs/op, B/op, plus named speedup
-// ratios between measurement pairs). It exists so the perf trajectory
-// of the serving fast path accumulates as JSON artifacts
-// (BENCH_PR2.json and successors) instead of scrollback: the
-// mtmlf-bench CLI's -json flag and the CI benchmark step both write
+// Package benchjson is the machine-readable performance report: Go
+// benchmark measurements (ns/op, allocs/op, B/op, plus named speedup
+// ratios between measurement pairs) and HTTP load-test results
+// (throughput + latency percentiles per endpoint per concurrency
+// level). It exists so the perf trajectory of the serving path
+// accumulates as JSON artifacts (BENCH_PR2.json, BENCH_PR6.json, and
+// successors) instead of scrollback: the mtmlf-bench CLI's -json
+// flag, the mtmlf-loadgen CLI, and the CI benchmark steps all write
 // through it.
 package benchjson
 
@@ -34,6 +36,40 @@ type Speedup struct {
 	AllocsRatio float64 `json:"allocs_ratio"`
 }
 
+// LoadEntry is one load-generator measurement: one endpoint driven at
+// one concurrency level (or open-loop arrival rate) for a fixed
+// duration. Latency percentiles come from an HDR-style histogram over
+// every successful request (see internal/loadgen).
+type LoadEntry struct {
+	// Name identifies the measurement, conventionally
+	// "<endpoint>/c<concurrency>" (closed loop) or
+	// "<endpoint>/r<qps>" (open loop).
+	Name     string `json:"name"`
+	Endpoint string `json:"endpoint"`
+	// Concurrency is the closed-loop worker count; OpenLoopQPS the
+	// open-loop target arrival rate (0 when closed-loop).
+	Concurrency int     `json:"concurrency"`
+	OpenLoopQPS float64 `json:"open_loop_qps,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Requests = OK + Shed + DeadlineMisses + Errors: everything the
+	// generator attempted against this endpoint.
+	Requests       uint64 `json:"requests"`
+	OK             uint64 `json:"ok"`
+	Shed           uint64 `json:"shed"`            // 429s
+	DeadlineMisses uint64 `json:"deadline_misses"` // 504s
+	Errors         uint64 `json:"errors"`          // everything else non-2xx + transport
+
+	// ThroughputRPS is OK / wall-clock duration — goodput, not offered
+	// load.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+}
+
 // Report is the JSON document.
 type Report struct {
 	Label      string    `json:"label"`
@@ -42,6 +78,9 @@ type Report struct {
 	CreatedAt  string    `json:"created_at"`
 	Entries    []Entry   `json:"entries"`
 	Speedups   []Speedup `json:"speedups"`
+	// Load holds load-generator measurements (absent from pure
+	// micro-benchmark reports).
+	Load []LoadEntry `json:"load,omitempty"`
 }
 
 // NewReport creates a report stamped with the runtime environment.
@@ -106,6 +145,11 @@ func (r *Report) AddSpeedup(name, baseline, fast string) error {
 	}
 	r.Speedups = append(r.Speedups, s)
 	return nil
+}
+
+// AddLoad appends one load-generator measurement.
+func (r *Report) AddLoad(e LoadEntry) {
+	r.Load = append(r.Load, e)
 }
 
 // Write marshals the report to path (pretty-printed, trailing newline).

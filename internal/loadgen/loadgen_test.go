@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/serve"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/workload"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("card=50,cost=30,joinorder=20")
+	if err != nil || m != (Mix{50, 30, 20}) {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+	m, err = ParseMix(" cost=7 ")
+	if err != nil || m != (Mix{Cost: 7}) {
+		t.Fatalf("partial mix: got %+v, %v", m, err)
+	}
+	for _, bad := range []string{"card", "card=x", "card=-1", "latency=3", "card=0,cost=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPickerZipfSkew: with s > 1 the head of the pool must be drawn
+// far more often than the tail; with s <= 1 draws are uniform-ish.
+func TestPickerZipfSkew(t *testing.T) {
+	const n, draws = 64, 20000
+	counts := make([]int, n)
+	p := newPicker(7, DefaultMix(), n, 1.2)
+	for i := 0; i < draws; i++ {
+		_, item := p.next()
+		counts[item]++
+	}
+	var tail int
+	for _, c := range counts[32:] {
+		tail += c
+	}
+	if counts[0] < draws/4 {
+		t.Fatalf("zipf head drew %d of %d; expected heavy skew", counts[0], draws)
+	}
+	if tail > counts[0] {
+		t.Fatalf("zipf tail (%d) outdrew the head (%d)", tail, counts[0])
+	}
+
+	uni := newPicker(7, DefaultMix(), n, 0)
+	counts = make([]int, n)
+	for i := 0; i < draws; i++ {
+		_, item := uni.next()
+		counts[item]++
+	}
+	if counts[0] > 3*draws/n {
+		t.Fatalf("uniform head drew %d of %d; expected ~%d", counts[0], draws, draws/n)
+	}
+}
+
+// loadTestServer boots a real engine + handler over a tiny model.
+// Untrained weights are fine — the harness measures transport and
+// scheduling, not estimate quality.
+func loadTestServer(t *testing.T) (*httptest.Server, *sqldb.DB) {
+	t.Helper()
+	db := datagen.SyntheticIMDB(5, 0.05)
+	cfg := mtmlf.DefaultConfig()
+	cfg.Dim, cfg.Blocks, cfg.DecBlocks = 16, 1, 1
+	cfg.Feat.Dim, cfg.Feat.Blocks = 16, 1
+	m := mtmlf.NewModel(cfg, db, 11)
+	e, err := serve.NewEngine(m, serve.Options{Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	srv := httptest.NewServer(serve.NewHandlerConfig(e, serve.HandlerConfig{
+		Gen: workload.NewGenerator(db, 99),
+		Reload: func() (*mtmlf.Model, error) {
+			return mtmlf.NewModel(cfg, db, 31), nil
+		},
+	}))
+	t.Cleanup(srv.Close)
+	return srv, db
+}
+
+// TestRunClosedLoop drives a live server end to end: every endpoint
+// in the mix sees traffic, nothing fails, a mid-run hot reload
+// succeeds with zero failed in-flight requests, and the run exports
+// well-formed benchjson entries.
+func TestRunClosedLoop(t *testing.T) {
+	srv, db := loadTestServer(t)
+	pool, err := SyntheticPool(db, 42, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		BaseURL:     srv.URL,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		ZipfS:       1.2,
+		Seed:        1,
+		ReloadAfter: 100 * time.Millisecond,
+		Client:      srv.Client(),
+	}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests, ok, shed, deadline, errs := res.Totals()
+	if requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if errs != 0 || shed != 0 || deadline != 0 {
+		t.Fatalf("run saw shed=%d deadline=%d errors=%d, want all zero", shed, deadline, errs)
+	}
+	if ok != requests {
+		t.Fatalf("ok %d != requests %d", ok, requests)
+	}
+	if res.Reload == nil || !res.Reload.Issued || !res.Reload.OK {
+		t.Fatalf("mid-run reload did not succeed: %+v", res.Reload)
+	}
+
+	entries := res.LoadEntries("c4", 4, 0, DefaultMix())
+	if len(entries) != 3 {
+		t.Fatalf("got %d load entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if e.OK == 0 || e.ThroughputRPS <= 0 || e.P50Ms <= 0 {
+			t.Fatalf("entry %s missing data: %+v", e.Name, e)
+		}
+		if e.P50Ms > e.P99Ms || float64(e.Concurrency) != 4 {
+			t.Fatalf("entry %s inconsistent: %+v", e.Name, e)
+		}
+		if !strings.HasSuffix(e.Name, "/c4") {
+			t.Fatalf("entry name %q lacks level suffix", e.Name)
+		}
+	}
+
+	out := FormatResult(res, DefaultMix())
+	for _, want := range []string{"endpoint", "card", "cost", "joinorder", "reload: status=200 ok=true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatResult missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunOpenLoop: fixed-rate arrivals against a live server.
+func TestRunOpenLoop(t *testing.T) {
+	srv, db := loadTestServer(t)
+	pool, err := SyntheticPool(db, 43, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		BaseURL:  srv.URL,
+		Duration: 400 * time.Millisecond,
+		RateQPS:  100,
+		Seed:     2,
+		Client:   srv.Client(),
+	}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests, ok, _, _, errs := res.Totals()
+	if requests == 0 || errs != 0 || ok != requests {
+		t.Fatalf("open loop: requests=%d ok=%d errors=%d", requests, ok, errs)
+	}
+}
+
+// TestRunDeadTarget: an unreachable server fails fast with a health
+// error instead of burning the full duration.
+func TestRunDeadTarget(t *testing.T) {
+	srv, db := loadTestServer(t)
+	url := srv.URL
+	srv.Close()
+	pool, err := SyntheticPool(db, 44, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := Run(Options{BaseURL: url, Duration: 10 * time.Second}, pool); err == nil {
+		t.Fatal("Run against a dead target succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("dead-target failure was not fast")
+	}
+}
+
+// TestRunRejectsBadOptions: input validation.
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(Options{Duration: time.Second}, nil); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+	if _, err := Run(Options{Duration: time.Second}, &Pool{}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := Run(Options{}, &Pool{Items: [][]byte{{1}}}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -38,6 +38,19 @@ var (
 	ErrInternal = errors.New("serve: internal error")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("serve: engine closed")
+	// ErrOverloaded is the fast-shed admission rejection: the bounded
+	// request queue is full and Options.ShedOverload is set. The HTTP
+	// layer maps it to 429 — the client should back off and retry.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDeadline marks a request rejected because its deadline
+	// (propagated via context / the X-Deadline-Ms header) expired
+	// before a worker could admit it into a micro-batch. No model
+	// compute was spent. The HTTP layer maps it to 504.
+	ErrDeadline = errors.New("serve: deadline exceeded")
+	// ErrReloadMismatch marks a Reload whose new model serves a
+	// different database (name or table list) than the current one —
+	// hot swap is for new weights, not new schemas.
+	ErrReloadMismatch = errors.New("serve: reload checkpoint incompatible")
 )
 
 // Validate checks a (query, plan) pair against the served database
@@ -45,7 +58,8 @@ var (
 // would make the model layer panic (plus a few that would silently
 // degrade, like filters on tables the query doesn't touch).
 func (e *Engine) Validate(q *sqldb.Query, p *plan.Node) error {
-	db := e.model.Feat.DB
+	m := e.model.Load()
+	db := m.Feat.DB
 	if q == nil {
 		return fmt.Errorf("%w: nil query", ErrBadRequest)
 	}
@@ -55,7 +69,7 @@ func (e *Engine) Validate(q *sqldb.Query, p *plan.Node) error {
 	if len(q.Tables) == 0 {
 		return fmt.Errorf("%w: query has no tables", ErrBadRequest)
 	}
-	if max := e.model.Shared.Cfg.MaxTables; len(q.Tables) > max {
+	if max := m.Shared.Cfg.MaxTables; len(q.Tables) > max {
 		return fmt.Errorf("%w: query joins %d tables, model supports %d", ErrModelLimit, len(q.Tables), max)
 	}
 	inQuery := make(map[string]bool, len(q.Tables))

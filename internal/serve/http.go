@@ -1,26 +1,39 @@
-// HTTP/JSON front end over the Engine — what cmd/mtmlf-serve mounts.
+// HTTP/JSON front end over the Engine — what cmd/mtmlf-serve mounts
+// and cmd/mtmlf-loadgen drives.
 //
 // Endpoints:
 //
 //	POST /estimate/card  {"query": ..., "plan": ...} → {"nodes": [...], "root": ...}
 //	POST /estimate/cost  same shape as /estimate/card
 //	POST /joinorder      {"query": ..., "plan": ...} → {"order": [...], "logprob": ..., "legal": ...}
+//	POST /reloadz        hot-swap the checkpoint (when a reloader is configured)
 //	GET  /healthz        liveness + checkpoint/database identity
-//	GET  /statsz         QPS, per-endpoint p50/p99, batching and pool-reuse counters
+//	GET  /statsz         QPS, per-endpoint p50/p95/p99, shed/deadline/reload and pool counters
 //	GET  /example        a valid random request body (for curl | POST round trips)
 //
 // "plan" is optional everywhere: when omitted, a left-deep
 // SeqScan/HashJoin tree over the query's table order stands in (the
 // paper's "existing DBMS provides the initial plan" role, without
 // requiring clients to speak plan trees).
+//
+// Deadlines: a client may send an X-Deadline-Ms header on any POST;
+// the handler turns it into a context deadline that the engine's
+// scheduler honors (expired work is rejected with 504 before any
+// model compute). Overload (full admission queue under
+// Options.ShedOverload) returns 429 with a Retry-After hint.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
+	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/plan"
 	"mtmlf/internal/workload"
 )
@@ -54,18 +67,46 @@ type HealthJSON struct {
 	Database string `json:"database"`
 	Tables   int    `json:"tables"`
 	Sessions int    `json:"sessions"`
+	Reloads  uint64 `json:"reloads"`
+}
+
+// ReloadJSON is the /reloadz response body.
+type ReloadJSON struct {
+	Status   string `json:"status"`
+	Database string `json:"database"`
+	Tables   int    `json:"tables"`
+	// Reloads is the total number of successful swaps, this one
+	// included.
+	Reloads uint64 `json:"reloads"`
 }
 
 type errorJSON struct {
 	Error string `json:"error"`
 }
 
-// NewHandler mounts the serving endpoints over e. gen, when non-nil,
-// powers GET /example with random valid queries against the served
-// database (guarded by a mutex: workload generators are not
-// concurrency-safe).
+// HandlerConfig configures the optional endpoints of NewHandlerConfig.
+type HandlerConfig struct {
+	// Gen, when non-nil, powers GET /example with random valid queries
+	// against the served database (guarded by a mutex: workload
+	// generators are not concurrency-safe).
+	Gen *workload.Generator
+	// Reload, when non-nil, enables POST /reloadz: it loads a fresh
+	// model (typically re-reading the checkpoint path from disk) which
+	// the handler swaps into the engine via Engine.Reload. Calls are
+	// serialized by the handler. When nil, /reloadz returns 404.
+	Reload func() (*mtmlf.Model, error)
+}
+
+// NewHandler mounts the serving endpoints over e with an example
+// generator only (no reload). Kept for callers that predate
+// HandlerConfig.
 func NewHandler(e *Engine, gen *workload.Generator) http.Handler {
-	h := &handler{engine: e, gen: gen}
+	return NewHandlerConfig(e, HandlerConfig{Gen: gen})
+}
+
+// NewHandlerConfig mounts the serving endpoints over e.
+func NewHandlerConfig(e *Engine, cfg HandlerConfig) http.Handler {
+	h := &handler{engine: e, gen: cfg.Gen, reload: cfg.Reload}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate/card", func(w http.ResponseWriter, r *http.Request) {
 		h.estimate(w, r, EndpointCard)
@@ -74,6 +115,7 @@ func NewHandler(e *Engine, gen *workload.Generator) http.Handler {
 		h.estimate(w, r, EndpointCost)
 	})
 	mux.HandleFunc("POST /joinorder", h.joinOrder)
+	mux.HandleFunc("POST /reloadz", h.reloadz)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /statsz", h.statsz)
 	mux.HandleFunc("GET /example", h.example)
@@ -84,6 +126,9 @@ type handler struct {
 	engine *Engine
 	genMu  sync.Mutex
 	gen    *workload.Generator
+
+	reloadMu sync.Mutex
+	reload   func() (*mtmlf.Model, error)
 }
 
 // maxBodyBytes bounds POST bodies: the largest legitimate request (a
@@ -115,6 +160,28 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) (*RequestJSON, 
 	return &req, p, nil
 }
 
+// DeadlineHeader is the request header carrying the client's latency
+// budget in integer milliseconds. The handler converts it into a
+// context deadline; the scheduler refuses to spend model compute on
+// work that has already missed it.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// requestContext derives the engine context for one POST: the HTTP
+// request's context (so a disconnected client cancels queued work),
+// tightened by X-Deadline-Ms when present.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	hdr := r.Header.Get(DeadlineHeader)
+	if hdr == "" {
+		return r.Context(), func() {}, nil
+	}
+	ms, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("%w: %s must be a positive integer, got %q", ErrBadRequest, DeadlineHeader, hdr)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
 func (h *handler) estimate(w http.ResponseWriter, r *http.Request, ep Endpoint) {
 	req, p, err := h.decode(w, r)
 	if err != nil {
@@ -126,11 +193,17 @@ func (h *handler) estimate(w http.ResponseWriter, r *http.Request, ep Endpoint) 
 		writeError(w, err)
 		return
 	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
 	var est *Estimate
 	if ep == EndpointCard {
-		est, err = h.engine.EstimateCard(q, p)
+		est, err = h.engine.EstimateCardCtx(ctx, q, p)
 	} else {
-		est, err = h.engine.EstimateCost(q, p)
+		est, err = h.engine.EstimateCostCtx(ctx, q, p)
 	}
 	if err != nil {
 		writeError(w, err)
@@ -150,12 +223,47 @@ func (h *handler) joinOrder(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := h.engine.JoinOrder(q, p)
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	res, err := h.engine.JoinOrderCtx(ctx, q, p)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, JoinOrderJSON{Order: res.Order, LogProb: res.LogProb, Legal: res.Legal})
+}
+
+// reloadz hot-swaps the served checkpoint. Loading happens outside
+// the engine (the reloader re-reads the checkpoint from disk); the
+// swap itself is atomic and in-flight batches drain on the old model
+// — see Engine.Reload.
+func (h *handler) reloadz(w http.ResponseWriter, _ *http.Request) {
+	if h.reload == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	m, err := h.reload()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	if err := h.engine.Reload(m); err != nil {
+		writeError(w, err)
+		return
+	}
+	db := h.engine.DB()
+	writeJSON(w, http.StatusOK, ReloadJSON{
+		Status:   "ok",
+		Database: db.Name,
+		Tables:   len(db.Tables),
+		Reloads:  h.engine.Stats().Reloads,
+	})
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -165,6 +273,7 @@ func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
 		Database: db.Name,
 		Tables:   len(db.Tables),
 		Sessions: h.engine.opts.Sessions,
+		Reloads:  h.engine.Stats().Reloads,
 	})
 }
 
@@ -188,10 +297,21 @@ func (h *handler) example(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// writeError maps the typed engine errors onto HTTP statuses.
+// writeError maps the typed engine errors onto HTTP statuses: 429
+// (overload shed, with a Retry-After hint), 504 (deadline missed
+// before admission), 409 (reload schema mismatch), 503 (closed), 500
+// (recovered panic), 422 (no legal join order), 400 (everything
+// malformed).
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrReloadMismatch):
+		status = http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrInternal):

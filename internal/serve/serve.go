@@ -1,22 +1,46 @@
 // Package serve is the concurrent inference engine over the mtmlf
 // no-grad fast path — the layer a DBMS would call (or front with the
 // mtmlf-serve HTTP server) to consume a pretrained full-model
-// checkpoint.
+// checkpoint, and the layer mtmlf-loadgen is built to saturate.
 //
 // Architecture: a bounded pool of session workers, each owning one
 // inference session per batch (one ag.Eval checked out of the
 // process-wide evaluator pool via AcquireEval, released — and with it
 // every pooled tensor — when the batch completes). Requests funnel
-// through one queue; a worker that picks up a request drains up to
-// MaxBatch-1 more within BatchWindow and serves them as a micro-batch:
-// each request's (F)+(S) representation runs in the shared session,
-// and the cardinality/cost head projections of the whole batch fuse
-// into single kernel dispatches over the row-concatenated node
-// representations. The kernels compute every output row independently
-// with a fixed accumulation order (see tensor/matmul.go), so each
-// request's slice of the fused result is BITWISE identical to a solo
-// forward — concurrency and batching never perturb a served number
-// (asserted by the -race equivalence tests).
+// through one bounded queue; a worker that picks up a request drains
+// up to MaxBatch-1 more within BatchWindow and serves them as a
+// micro-batch: each request's (F)+(S) representation runs in the
+// shared session, and the cardinality/cost head projections of the
+// whole batch fuse into single kernel dispatches over the
+// row-concatenated node representations. The kernels compute every
+// output row independently with a fixed accumulation order (see
+// tensor/matmul.go), so each request's slice of the fused result is
+// BITWISE identical to a solo forward — concurrency and batching
+// never perturb a served number (asserted by the -race equivalence
+// tests).
+//
+// Admission control: the queue is the only buffer in the system. In
+// the default (blocking) mode a full queue applies backpressure to
+// the caller; with Options.ShedOverload a full queue fails the
+// request immediately with ErrOverloaded instead — the fast-429 path
+// an HTTP front end wants, because a bounded wait is worth more to a
+// query optimizer than an unbounded queue (see docs/OPERATIONS.md
+// for sizing guidance).
+//
+// Deadlines: the *Ctx request methods propagate the caller's context
+// deadline (mtmlf-serve derives one from the X-Deadline-Ms header)
+// into the scheduler. A request whose deadline has already expired is
+// rejected with ErrDeadline at submit; a worker re-checks at batch
+// admission, so compute is never spent on an answer nobody can use,
+// and a batch never waits for fill past the earliest deadline it
+// already holds.
+//
+// Hot reload: Reload atomically swaps in a new model for the same
+// database. Each micro-batch snapshots the model pointer exactly once
+// at pickup, so every response is computed entirely under one set of
+// weights — in-flight batches drain on the old model while new
+// batches run on the new one, with zero dropped requests (asserted by
+// the -race reload test).
 //
 // Error boundary: the model layer panics on malformed inputs (unknown
 // tables, plans that don't cover the query). Engine validates every
@@ -27,9 +51,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mtmlf/internal/ag"
@@ -54,6 +80,12 @@ type Options struct {
 	BatchWindow time.Duration
 	// QueueDepth bounds the request queue. 0 means 4*Sessions.
 	QueueDepth int
+	// ShedOverload selects the admission policy for a full queue:
+	// false (default) blocks the caller until a slot frees
+	// (backpressure — the right call for in-process embedding), true
+	// fails fast with ErrOverloaded (the right call for an HTTP front
+	// end, which maps it to 429).
+	ShedOverload bool
 }
 
 func (o Options) withDefaults() Options {
@@ -129,13 +161,25 @@ type request struct {
 	q     *sqldb.Query
 	p     *plan.Node
 	start time.Time
-	done  chan result
+	// deadline is the wall-clock point after which the answer is
+	// useless to the caller; zero means none. Checked at submit and
+	// re-checked at batch admission.
+	deadline time.Time
+	done     chan result
 }
 
-// Engine is the concurrent serving front end over one model. Safe for
-// concurrent use by any number of goroutines.
+// expired reports whether the request's deadline has passed at now.
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && !now.Before(r.deadline)
+}
+
+// Engine is the concurrent serving front end over one hot-swappable
+// model. Safe for concurrent use by any number of goroutines.
 type Engine struct {
-	model *mtmlf.Model
+	// model is the currently served model. Workers snapshot it once
+	// per micro-batch, so a Reload never mixes weights inside one
+	// response (or one batch).
+	model atomic.Pointer[mtmlf.Model]
 	opts  Options
 	reqs  chan *request
 	stats *stats
@@ -147,22 +191,19 @@ type Engine struct {
 
 // NewEngine starts Sessions workers over the model. The model's
 // weights are read-only from here on: training concurrently with
-// serving is a data race.
+// serving is a data race. Replace the model with Reload.
 func NewEngine(m *mtmlf.Model, opts Options) (*Engine, error) {
-	if m == nil {
-		return nil, fmt.Errorf("%w: nil model", ErrBadRequest)
-	}
-	if n, max := len(m.Feat.DB.Tables), m.Shared.Cfg.MaxTables; n > max {
-		return nil, fmt.Errorf("%w: database has %d tables, model supports %d", ErrModelLimit, n, max)
+	if err := checkModel(m); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
-		model: m,
 		opts:  opts,
 		reqs:  make(chan *request, opts.QueueDepth),
 		stats: newStats(opts.Sessions),
 		quit:  make(chan struct{}),
 	}
+	e.model.Store(m)
 	e.wg.Add(opts.Sessions)
 	for i := 0; i < opts.Sessions; i++ {
 		go e.worker()
@@ -170,11 +211,62 @@ func NewEngine(m *mtmlf.Model, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Model returns the served model (read-only).
-func (e *Engine) Model() *mtmlf.Model { return e.model }
+// checkModel validates a model for serving (construction and reload
+// share it).
+func checkModel(m *mtmlf.Model) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil model", ErrBadRequest)
+	}
+	if n, max := len(m.Feat.DB.Tables), m.Shared.Cfg.MaxTables; n > max {
+		return fmt.Errorf("%w: database has %d tables, model supports %d", ErrModelLimit, n, max)
+	}
+	return nil
+}
 
-// DB returns the served database schema (read-only).
-func (e *Engine) DB() *sqldb.DB { return e.model.Feat.DB }
+// Reload atomically swaps in a new model. The new model must serve
+// the same database (same table list, in order) as the current one:
+// queued requests were validated against that schema and must stay
+// valid under the new weights. In-flight micro-batches finish on the
+// old model; batches picked up after Reload returns run entirely on
+// the new one. No request is ever dropped or served from a mix.
+func (e *Engine) Reload(m *mtmlf.Model) error {
+	if err := checkModel(m); err != nil {
+		return err
+	}
+	old := e.model.Load()
+	if err := sameTables(old.Feat.DB, m.Feat.DB); err != nil {
+		return err
+	}
+	e.model.Store(m)
+	e.stats.recordReload()
+	return nil
+}
+
+// sameTables checks that two databases expose the identical table
+// list (the reload compatibility contract).
+func sameTables(old, new *sqldb.DB) error {
+	if old.Name != new.Name {
+		return fmt.Errorf("%w: checkpoint is for database %q, serving %q", ErrReloadMismatch, new.Name, old.Name)
+	}
+	if len(old.Tables) != len(new.Tables) {
+		return fmt.Errorf("%w: checkpoint has %d tables, serving %d", ErrReloadMismatch, len(new.Tables), len(old.Tables))
+	}
+	for i := range old.Tables {
+		if old.Tables[i].Name != new.Tables[i].Name {
+			return fmt.Errorf("%w: table %d is %q in checkpoint, %q in serving schema",
+				ErrReloadMismatch, i, new.Tables[i].Name, old.Tables[i].Name)
+		}
+	}
+	return nil
+}
+
+// Model returns the currently served model (read-only; may change
+// across calls if Reload runs concurrently).
+func (e *Engine) Model() *mtmlf.Model { return e.model.Load() }
+
+// DB returns the served database schema (read-only; stable across
+// reloads by the Reload contract).
+func (e *Engine) DB() *sqldb.DB { return e.model.Load().Feat.DB }
 
 // Close stops the workers. In-flight requests finish; subsequent
 // calls return ErrClosed.
@@ -186,42 +278,83 @@ func (e *Engine) Close() {
 // EstimateCard predicts the cardinality of every node of plan p for
 // query q (post-order; Root is the result-size estimate).
 func (e *Engine) EstimateCard(q *sqldb.Query, p *plan.Node) (*Estimate, error) {
-	return e.estimate(EndpointCard, q, p)
+	return e.EstimateCardCtx(context.Background(), q, p)
 }
 
 // EstimateCost predicts the cumulative cost of every node of plan p.
 func (e *Engine) EstimateCost(q *sqldb.Query, p *plan.Node) (*Estimate, error) {
-	return e.estimate(EndpointCost, q, p)
+	return e.EstimateCostCtx(context.Background(), q, p)
 }
 
 // JoinOrder predicts the join order for q via legality-constrained
 // beam search over the leaf representations of p.
 func (e *Engine) JoinOrder(q *sqldb.Query, p *plan.Node) (*JoinOrderResult, error) {
-	res, err := e.submit(EndpointJoinOrder, q, p)
+	return e.JoinOrderCtx(context.Background(), q, p)
+}
+
+// EstimateCardCtx is EstimateCard with the context's deadline
+// propagated into the scheduler: expired work is rejected with
+// ErrDeadline instead of computed.
+func (e *Engine) EstimateCardCtx(ctx context.Context, q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	return e.estimate(ctx, EndpointCard, q, p)
+}
+
+// EstimateCostCtx is EstimateCost with deadline propagation.
+func (e *Engine) EstimateCostCtx(ctx context.Context, q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	return e.estimate(ctx, EndpointCost, q, p)
+}
+
+// JoinOrderCtx is JoinOrder with deadline propagation.
+func (e *Engine) JoinOrderCtx(ctx context.Context, q *sqldb.Query, p *plan.Node) (*JoinOrderResult, error) {
+	res, err := e.submit(ctx, EndpointJoinOrder, q, p)
 	if err != nil {
 		return nil, err
 	}
 	return &res.order, nil
 }
 
-func (e *Engine) estimate(ep Endpoint, q *sqldb.Query, p *plan.Node) (*Estimate, error) {
-	res, err := e.submit(ep, q, p)
+func (e *Engine) estimate(ctx context.Context, ep Endpoint, q *sqldb.Query, p *plan.Node) (*Estimate, error) {
+	res, err := e.submit(ctx, ep, q, p)
 	if err != nil {
 		return nil, err
 	}
 	return &Estimate{Nodes: res.nodes, Root: res.nodes[len(res.nodes)-1]}, nil
 }
 
-func (e *Engine) submit(ep Endpoint, q *sqldb.Query, p *plan.Node) (result, error) {
+// submit validates, admits, and awaits one request. Admission is
+// where overload and dead-on-arrival work is rejected — before any
+// model compute is spent on it.
+func (e *Engine) submit(ctx context.Context, ep Endpoint, q *sqldb.Query, p *plan.Node) (result, error) {
 	if err := e.Validate(q, p); err != nil {
 		e.stats.recordError()
 		return result{}, err
 	}
 	r := &request{ep: ep, q: q, p: p, start: time.Now(), done: make(chan result, 1)}
-	select {
-	case e.reqs <- r:
-	case <-e.quit:
-		return result{}, ErrClosed
+	if dl, ok := ctx.Deadline(); ok {
+		r.deadline = dl
+		if r.expired(r.start) {
+			e.stats.recordDeadlineMiss()
+			return result{}, fmt.Errorf("%w: deadline expired before admission", ErrDeadline)
+		}
+	}
+	if e.opts.ShedOverload {
+		select {
+		case e.reqs <- r:
+		case <-e.quit:
+			return result{}, ErrClosed
+		default:
+			e.stats.recordShed()
+			return result{}, fmt.Errorf("%w: queue full (%d deep)", ErrOverloaded, e.opts.QueueDepth)
+		}
+	} else {
+		select {
+		case e.reqs <- r:
+		case <-e.quit:
+			return result{}, ErrClosed
+		case <-ctx.Done():
+			e.stats.recordDeadlineMiss()
+			return result{}, fmt.Errorf("%w: %v while queued", ErrDeadline, ctx.Err())
+		}
 	}
 	select {
 	case res := <-r.done:
@@ -247,7 +380,9 @@ func (e *Engine) submit(ep Endpoint, q *sqldb.Query, p *plan.Node) (result, erro
 }
 
 // worker is one session loop: pick up a request, fill a micro-batch,
-// serve it from a freshly checked-out evaluator session.
+// serve it from a freshly checked-out evaluator session. The model is
+// snapshotted once per batch, so a concurrent Reload never splits a
+// batch (or a response) across two weight sets.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for {
@@ -257,27 +392,52 @@ func (e *Engine) worker() {
 		case <-e.quit:
 			return
 		}
-		e.runBatch(e.fill(first))
+		if !e.admit(first) {
+			continue
+		}
+		e.runBatch(e.model.Load(), e.fill(first))
 	}
 }
 
+// admit is the batch-admission deadline gate: a request that has
+// already missed its deadline is answered with ErrDeadline (without
+// spending a session on it) and excluded from the batch.
+func (e *Engine) admit(r *request) bool {
+	if r.expired(time.Now()) {
+		e.stats.recordDeadlineMiss()
+		r.done <- result{err: fmt.Errorf("%w: deadline expired in queue", ErrDeadline)}
+		return false
+	}
+	return true
+}
+
 // fill drains the queue (bounded by MaxBatch and BatchWindow) to form
-// a micro-batch around the first request.
+// a micro-batch around the first request. The fill wait never extends
+// past the earliest deadline already admitted: a batch must not make
+// its own members late.
 func (e *Engine) fill(first *request) []*request {
 	batch := []*request{first}
 	if e.opts.MaxBatch <= 1 {
 		return batch
 	}
+	wait := e.opts.BatchWindow
+	if !first.deadline.IsZero() {
+		if slack := time.Until(first.deadline); slack < wait {
+			wait = slack
+		}
+	}
 	var window <-chan time.Time
-	if e.opts.BatchWindow > 0 {
-		t := time.NewTimer(e.opts.BatchWindow)
+	if wait > 0 {
+		t := time.NewTimer(wait)
 		defer t.Stop()
 		window = t.C
 	}
 	for len(batch) < e.opts.MaxBatch {
 		select {
 		case r := <-e.reqs:
-			batch = append(batch, r)
+			if e.admit(r) {
+				batch = append(batch, r)
+			}
 			continue
 		default:
 		}
@@ -286,7 +446,9 @@ func (e *Engine) fill(first *request) []*request {
 		}
 		select {
 		case r := <-e.reqs:
-			batch = append(batch, r)
+			if e.admit(r) {
+				batch = append(batch, r)
+			}
 		case <-window:
 			return batch
 		}
@@ -294,22 +456,23 @@ func (e *Engine) fill(first *request) []*request {
 	return batch
 }
 
-// runBatch serves one micro-batch inside one inference session. The
-// session's Eval (and every pooled tensor of the batch) is released
-// at the end — see DESIGN.md "Session ownership".
-func (e *Engine) runBatch(batch []*request) {
+// runBatch serves one micro-batch inside one inference session
+// against one model snapshot. The session's Eval (and every pooled
+// tensor of the batch) is released at the end — see DESIGN.md
+// "Session ownership".
+func (e *Engine) runBatch(m *mtmlf.Model, batch []*request) {
 	ev := ag.AcquireEval()
 	defer ag.ReleaseEval(ev)
 
 	reps := make([]*mtmlf.InferRep, len(batch))
 	for i, r := range batch {
-		reps[i] = e.represent(ev, r)
+		reps[i] = e.represent(m, ev, r)
 	}
-	e.runHeads(ev, EndpointCard, batch, reps)
-	e.runHeads(ev, EndpointCost, batch, reps)
+	e.runHeads(m, ev, EndpointCard, batch, reps)
+	e.runHeads(m, ev, EndpointCost, batch, reps)
 	for i, r := range batch {
 		if r.ep == EndpointJoinOrder && reps[i] != nil {
-			e.runJoinOrder(r, reps[i])
+			e.runJoinOrder(m, r, reps[i])
 		}
 	}
 	e.stats.recordBatch(len(batch))
@@ -318,21 +481,21 @@ func (e *Engine) runBatch(batch []*request) {
 // represent computes one request's shared representation in the
 // session, converting any surviving model panic into ErrInternal
 // (validation should have caught everything typed).
-func (e *Engine) represent(ev *ag.Eval, r *request) (rep *mtmlf.InferRep) {
+func (e *Engine) represent(m *mtmlf.Model, ev *ag.Eval, r *request) (rep *mtmlf.InferRep) {
 	defer func() {
 		if p := recover(); p != nil {
 			rep = nil
 			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
 		}
 	}()
-	return e.model.RepresentInfer(ev, r.q, r.p)
+	return m.RepresentInfer(ev, r.q, r.p)
 }
 
 // runHeads fuses one head over every batch request of the given kind:
 // a single MLP dispatch over the row-concatenated node
 // representations. Each request's rows are computed independently by
 // the kernels, so its slice is bitwise identical to a solo forward.
-func (e *Engine) runHeads(ev *ag.Eval, ep Endpoint, batch []*request, reps []*mtmlf.InferRep) {
+func (e *Engine) runHeads(m *mtmlf.Model, ev *ag.Eval, ep Endpoint, batch []*request, reps []*mtmlf.InferRep) {
 	var idx []int
 	var ss []*tensor.Tensor
 	for i, r := range batch {
@@ -361,9 +524,9 @@ func (e *Engine) runHeads(ev *ag.Eval, ep Endpoint, batch []*request, reps []*mt
 	if len(ss) > 1 {
 		fused = ev.ConcatRows(ss...)
 	}
-	head := e.model.Shared.CardHead
+	head := m.Shared.CardHead
 	if ep == EndpointCost {
-		head = e.model.Shared.CostHead
+		head = m.Shared.CostHead
 	}
 	out := head.Infer(ev, fused) // [total nodes, 1]
 	row := 0
@@ -379,13 +542,13 @@ func (e *Engine) runHeads(ev *ag.Eval, ep Endpoint, batch []*request, reps []*mt
 
 // runJoinOrder serves one join-order request from its representation
 // (KV-cached constrained beam search, same as the serial fast path).
-func (e *Engine) runJoinOrder(r *request, rep *mtmlf.InferRep) {
+func (e *Engine) runJoinOrder(m *mtmlf.Model, r *request, rep *mtmlf.InferRep) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
 		}
 	}()
-	res := e.model.Shared.JO.BeamSearchTensor(rep.Memory, r.q, e.model.Shared.Cfg.BeamWidth, true)
+	res := m.Shared.JO.BeamSearchTensor(rep.Memory, r.q, m.Shared.Cfg.BeamWidth, true)
 	best, ok := mtmlf.BestBeam(res)
 	if !ok {
 		r.done <- result{err: fmt.Errorf("%w: join graph admits no connected order", ErrNoJoinOrder)}
@@ -399,4 +562,6 @@ func (e *Engine) runJoinOrder(r *request, rep *mtmlf.InferRep) {
 }
 
 // Stats returns a snapshot of the engine's serving metrics.
-func (e *Engine) Stats() StatsSnapshot { return e.stats.snapshot() }
+func (e *Engine) Stats() StatsSnapshot {
+	return e.stats.snapshot(len(e.reqs), e.opts.QueueDepth)
+}

@@ -1,3 +1,7 @@
+// Serving telemetry: the counters behind Engine.Stats and the
+// /statsz endpoint. The full field-by-field schema, with operator
+// guidance on what each number means under load, is documented in
+// docs/OPERATIONS.md — keep the two in sync.
 package serve
 
 import (
@@ -26,6 +30,14 @@ type stats struct {
 	// fused counts requests that shared their batch with at least one
 	// other request — the micro-batching hit rate numerator.
 	fused uint64
+	// shed counts requests rejected at admission with ErrOverloaded
+	// (queue full, ShedOverload on).
+	shed uint64
+	// deadlineMisses counts requests rejected with ErrDeadline —
+	// expired before admission or while queued.
+	deadlineMisses uint64
+	// reloads counts successful hot checkpoint swaps.
+	reloads uint64
 
 	lat  [numEndpoints][]time.Duration // rings
 	latN [numEndpoints]int             // total inserted per ring
@@ -56,6 +68,24 @@ func (s *stats) recordError() {
 	s.mu.Unlock()
 }
 
+func (s *stats) recordShed() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordDeadlineMiss() {
+	s.mu.Lock()
+	s.deadlineMisses++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordReload() {
+	s.mu.Lock()
+	s.reloads++
+	s.mu.Unlock()
+}
+
 func (s *stats) recordBatch(size int) {
 	s.mu.Lock()
 	s.batches++
@@ -70,6 +100,7 @@ func (s *stats) recordBatch(size int) {
 type EndpointStats struct {
 	Requests uint64  `json:"requests"`
 	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
 }
 
@@ -83,12 +114,25 @@ type PoolStats struct {
 	ReuseRate float64 `json:"reuse_rate"`
 }
 
-// StatsSnapshot is the /statsz payload.
+// StatsSnapshot is the /statsz payload. Schema documented for
+// operators in docs/OPERATIONS.md.
 type StatsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Sessions      int     `json:"sessions"`
 	Requests      uint64  `json:"requests"`
 	Errors        uint64  `json:"errors"`
+	// Shed counts 429-rejected requests (queue full under
+	// ShedOverload); DeadlineMisses counts 504-rejected ones (expired
+	// before batch admission). Neither is in Requests or Errors: they
+	// never reached a session.
+	Shed           uint64 `json:"shed"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	// Reloads counts successful hot checkpoint swaps since boot.
+	Reloads uint64 `json:"reloads"`
+	// QueueDepth is the instantaneous request-queue occupancy;
+	// MaxQueue its bound. Depth pinned at MaxQueue means overload.
+	QueueDepth int `json:"queue_depth"`
+	MaxQueue   int `json:"max_queue"`
 	// QPS is the lifetime average request rate.
 	QPS float64 `json:"qps"`
 
@@ -105,7 +149,7 @@ type StatsSnapshot struct {
 	Pool PoolStats `json:"pool"`
 }
 
-func (s *stats) snapshot() StatsSnapshot {
+func (s *stats) snapshot(queueDepth, maxQueue int) StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var snap StatsSnapshot
@@ -113,7 +157,7 @@ func (s *stats) snapshot() StatsSnapshot {
 	snap.Sessions = s.sessions
 	for ep := Endpoint(0); ep < numEndpoints; ep++ {
 		es := EndpointStats{Requests: s.counts[ep]}
-		es.P50Ms, es.P99Ms = ringPercentiles(s.lat[ep])
+		es.P50Ms, es.P95Ms, es.P99Ms = ringPercentiles(s.lat[ep])
 		switch ep {
 		case EndpointCard:
 			snap.Card = es
@@ -125,6 +169,11 @@ func (s *stats) snapshot() StatsSnapshot {
 		snap.Requests += s.counts[ep]
 	}
 	snap.Errors = s.errors
+	snap.Shed = s.shed
+	snap.DeadlineMisses = s.deadlineMisses
+	snap.Reloads = s.reloads
+	snap.QueueDepth = queueDepth
+	snap.MaxQueue = maxQueue
 	if snap.UptimeSeconds > 0 {
 		snap.QPS = float64(snap.Requests) / snap.UptimeSeconds
 	}
@@ -141,18 +190,18 @@ func (s *stats) snapshot() StatsSnapshot {
 	return snap
 }
 
-// ringPercentiles returns the p50 and p99 of a latency ring in
+// ringPercentiles returns the p50, p95, and p99 of a latency ring in
 // milliseconds (zeros for an empty ring).
-func ringPercentiles(ring []time.Duration) (p50, p99 float64) {
+func ringPercentiles(ring []time.Duration) (p50, p95, p99 float64) {
 	if len(ring) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	ms := make([]float64, len(ring))
 	for i, d := range ring {
 		ms[i] = float64(d) / float64(time.Millisecond)
 	}
 	sort.Float64s(ms)
-	return percentileSorted(ms, 0.50), percentileSorted(ms, 0.99)
+	return percentileSorted(ms, 0.50), percentileSorted(ms, 0.95), percentileSorted(ms, 0.99)
 }
 
 // percentileSorted is nearest-rank interpolation over a sorted slice.

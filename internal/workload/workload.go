@@ -4,6 +4,19 @@
 // targets), and the optimal join order for queries of up to 8 tables
 // (the paper's ECQO-labeled JoinSel targets, with the same 8-table
 // affordability limit).
+//
+// Generation is deterministic and shardable: GenerateSharded labels
+// example i under a seed derived only from (seed, i/shardSize), so
+// the same (seed, n, shardSize, config) produce the same labeled
+// workload at any worker count — the property the corpus format and
+// the bitwise training contracts (DESIGN.md §5) build on. Labeled
+// examples flow to trainers through the Source interface (in-memory
+// slices or a streaming corpus reader interchangeably).
+//
+// The same Generator also feeds the serving side: mtmlf-serve's
+// /example endpoint and the load generator's query pool
+// (internal/loadgen) draw unlabeled queries from it, so served
+// traffic has the training workload's shape.
 package workload
 
 import (
