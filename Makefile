@@ -4,7 +4,7 @@
 GO ?= go
 RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus ./internal/loadgen
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke load-smoke docs-lint ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint ci
 
 all: build
 
@@ -75,6 +75,21 @@ mla-smoke:
 load-smoke:
 	./scripts/load_smoke.sh
 
+# Crash-recovery drill: kill -9 a snapshotting training run mid-epoch
+# (twice, at 1 and 4 workers), resume under a supervisor loop, assert
+# the final checkpoint and loss trajectory are bitwise identical to an
+# uninterrupted run. Leaves resume-smoke.log for CI to upload.
+resume-smoke:
+	./scripts/crash_resume_smoke.sh >resume-smoke.log 2>&1 || { cat resume-smoke.log; exit 1; }
+	@tail -n 3 resume-smoke.log
+
+# Short fuzz pass over the artifact decoders: arbitrary bytes must
+# error, never panic. Seeds cover both checkpoint versions, both
+# corpus versions, and the torn-write/bit-flip corruption shapes.
+fuzz-smoke:
+	$(GO) test ./internal/mtmlf -run=NONE -fuzz=FuzzLoadModel -fuzztime=10s
+	$(GO) test ./internal/corpus -run=NONE -fuzz=FuzzCorpusOpen -fuzztime=10s
+
 # Every package must open with a godoc package comment ("// Package x"
 # for libraries, "// Command x" for binaries) — the operator docs in
 # docs/OPERATIONS.md lean on godoc being readable.
@@ -85,4 +100,4 @@ docs-lint:
 			{ echo "docs-lint: $$d has no package comment"; bad=1; }; \
 	done; [ "$$bad" = 0 ]
 
-ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke load-smoke docs-lint
+ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint

@@ -37,11 +37,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"mtmlf/internal/catalog"
+	"mtmlf/internal/ckptio"
 	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/mtmlf"
@@ -109,10 +111,6 @@ func main() {
 	if *maxTables > 0 {
 		wcfg.MaxTables = *maxTables
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
 	shardSize := *shard
 	if *singleTable > 0 {
 		// Fleet-MLA generation is one rng stream per DB, not sharded.
@@ -131,19 +129,38 @@ func main() {
 		meta.SingleTablePerTable = *singleTable
 		meta.MLAWorkload = wcfg
 	}
-	w, err := corpus.NewWriter(f, meta)
+	start := time.Now()
+	// The corpus is committed atomically (temp file + fsync + rename):
+	// a crash or failure mid-generation leaves no torn artifact at -out.
+	err := ckptio.WriteFileAtomic(*out, func(f io.Writer) error {
+		w, err := corpus.NewWriter(f, meta)
+		if err != nil {
+			return err
+		}
+		return fillCorpus(w, fleet, wcfg, *seed, *queries, *shard, *singleTable)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := time.Now()
-	if *singleTable > 0 {
+	fi, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote corpus %s: %d databases, %d examples each, %d bytes, %v total\n",
+		*out, len(fleet), *queries, fi.Size(), time.Since(start).Round(time.Millisecond))
+}
+
+// fillCorpus streams the fleet's schemas and labeled workloads into w
+// and closes it.
+func fillCorpus(w *corpus.Writer, fleet []*sqldb.DB, wcfg workload.Config, seed int64, queries, shard, singleTable int) error {
+	if singleTable > 0 {
 		// Fleet-MLA mode: per-DB single-table sections + the Algorithm 1
 		// workload, generated DB-parallel on the pool, written in order.
 		mlaOpts := mtmlf.MLAOptions{
-			QueriesPerDB:        *queries,
-			SingleTablePerTable: *singleTable,
+			QueriesPerDB:        queries,
+			SingleTablePerTable: singleTable,
 			Workload:            wcfg,
-			Seed:                *seed,
+			Seed:                seed,
 		}
 		sts := make([][]workload.TableWorkload, len(fleet))
 		exs := make([][]*workload.LabeledQuery, len(fleet))
@@ -154,14 +171,14 @@ func main() {
 		})
 		for i, db := range fleet {
 			if err := w.BeginDB(db); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := w.WriteSingleTable(sts[i]); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			for _, lq := range exs[i] {
 				if err := w.AppendExample(lq); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 			nst := 0
@@ -170,35 +187,24 @@ func main() {
 			}
 			fmt.Printf("labeled %s: %d examples + %d single-table queries\n", db.Name, len(exs[i]), nst)
 		}
-	} else {
-		for i, db := range fleet {
-			t0 := time.Now()
-			if err := w.BeginDB(db); err != nil {
-				log.Fatal(err)
-			}
-			// The per-DB workload seed is offset the same way GenerateFleet
-			// offsets database seeds, so every (database, workload) pair is
-			// reproducible from the master seed alone.
-			qseed := *seed + 1000 + int64(i)*7919
-			examples := workload.GenerateSharded(catalog.NewMemory(db), qseed, *queries, *shard, wcfg)
-			for _, lq := range examples {
-				if err := w.AppendExample(lq); err != nil {
-					log.Fatal(err)
-				}
-			}
-			fmt.Printf("labeled %s: %d examples in %v\n", db.Name, len(examples), time.Since(t0).Round(time.Millisecond))
+		return w.Close()
+	}
+	for i, db := range fleet {
+		t0 := time.Now()
+		if err := w.BeginDB(db); err != nil {
+			return err
 		}
+		// The per-DB workload seed is offset the same way GenerateFleet
+		// offsets database seeds, so every (database, workload) pair is
+		// reproducible from the master seed alone.
+		qseed := seed + 1000 + int64(i)*7919
+		examples := workload.GenerateSharded(catalog.NewMemory(db), qseed, queries, shard, wcfg)
+		for _, lq := range examples {
+			if err := w.AppendExample(lq); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("labeled %s: %d examples in %v\n", db.Name, len(examples), time.Since(t0).Round(time.Millisecond))
 	}
-	if err := w.Close(); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fi, err := os.Stat(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote corpus %s: %d databases, %d examples each, %d bytes, %v total\n",
-		*out, len(fleet), *queries, fi.Size(), time.Since(start).Round(time.Millisecond))
+	return w.Close()
 }

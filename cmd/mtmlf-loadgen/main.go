@@ -58,6 +58,7 @@ func main() {
 	poolCorpus := flag.String("pool-corpus", "", "derive the pool from this corpus artifact instead of synthesizing")
 	poolDB := flag.String("pool-db", "", "database name inside -pool-corpus (default: first)")
 	deadlineMs := flag.Int("deadline-ms", 0, "send X-Deadline-Ms on every request (0 = none)")
+	retries := flag.Int("retries", 0, "per-request retry budget for shed (429) responses, honoring Retry-After with capped backoff + jitter (0 = record sheds immediately)")
 	reloadAfter := flag.Duration("reload-after", 0, "POST /reloadz this far into the first run (0 = never)")
 	jsonOut := flag.String("json", "", "write a benchjson report with load entries to this path")
 	label := flag.String("label", "mtmlf-loadgen", "report label")
@@ -102,6 +103,7 @@ func main() {
 			Seed:        *seed,
 			DeadlineMs:  *deadlineMs,
 			ReloadAfter: reload,
+			Retries:     *retries,
 		}
 		if rateQPS > 0 {
 			log.Printf("== open loop: %.1f QPS for %s", rateQPS, *duration)

@@ -8,8 +8,9 @@
 //	POST /estimate/cost   cost of every plan node
 //	POST /joinorder       legality-constrained beam-search join order
 //	POST /reloadz         hot-swap the checkpoint from disk (no downtime)
-//	GET  /healthz         liveness + served-database identity
-//	GET  /statsz          QPS, p50/p95/p99 latency, shed/deadline/reload counters
+//	GET  /healthz         readiness + served-database identity (503 while booting/draining)
+//	GET  /livez           liveness: 200 whenever the process can answer at all
+//	GET  /statsz          QPS, p50/p95/p99 latency, shed/deadline/reload/panic counters
 //	GET  /example         a valid random request body to POST back
 //
 // The -seed/-scale flags must match the training run: the featurizer
@@ -29,9 +30,13 @@
 // mix of old and new weights. Retrain → overwrite the checkpoint file
 // → SIGHUP is the zero-downtime update loop.
 //
-// On SIGTERM/SIGINT the server shuts down gracefully: it stops
-// accepting, drains in-flight requests and micro-batches, and flushes
-// the final /statsz counters to the log before exiting.
+// On SIGTERM/SIGINT the server shuts down gracefully: it flips
+// /healthz to 503 so load balancers stop routing, stops accepting,
+// drains in-flight requests and micro-batches, and flushes the final
+// /statsz counters to the log before exiting. The same readiness
+// split covers boot: the listener opens (and /livez answers 200)
+// before the checkpoint is loaded, with /healthz at 503 until the
+// model is actually servable.
 //
 // Usage:
 //
@@ -51,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -61,6 +67,22 @@ import (
 	"mtmlf/internal/tensor"
 	"mtmlf/internal/workload"
 )
+
+// bootHandler serves the pre-load window between listen and the first
+// successful checkpoint load: the process is alive (/livez 200) but
+// not ready (everything else 503), so load balancers wait instead of
+// routing to a server that cannot answer yet.
+func bootHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/livez" {
+			fmt.Fprintln(w, `{"status":"alive"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"unavailable","error":"checkpoint not loaded yet"}`)
+	})
+}
 
 // loadCheckpoint reads a full-model checkpoint from path against db.
 // It is the boot loader and the hot-reload loader: /reloadz and
@@ -92,6 +114,31 @@ func main() {
 		os.Exit(2)
 	}
 	tensor.SetParallelism(*workers)
+
+	// Listen before the checkpoint load so orchestrators can probe the
+	// process the moment it exists: /livez answers 200 (alive) and
+	// /healthz 503 (not ready) until the model is servable. The real
+	// handler is swapped in atomically once the engine is up; `ready`
+	// gates /healthz for the rest of the process lifetime.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ready atomic.Bool
+	var handler atomic.Value // http.Handler: boot mux, then the serve handler
+	handler.Store(bootHandler())
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		// Slow-client guards; request bodies are additionally capped
+		// by the handler (http.MaxBytesReader).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 
 	db := datagen.SyntheticIMDB(*seed, *scale)
 	model, info, err := loadCheckpoint(*ckpt, db)
@@ -130,20 +177,15 @@ func main() {
 	// request bodies without knowing the synthetic schema.
 	gen := workload.NewGenerator(db, *seed+1000)
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := &http.Server{
-		Handler: serve.NewHandlerConfig(engine, serve.HandlerConfig{Gen: gen, Reload: reload}),
-		// Slow-client guards; request bodies are additionally capped
-		// by the handler (http.MaxBytesReader).
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-	}
+	handler.Store(serve.NewHandlerConfig(engine, serve.HandlerConfig{
+		Gen:    gen,
+		Reload: reload,
+		Ready:  ready.Load,
+	}))
+	ready.Store(true)
 	// Logged (not just printed) so supervisors and the smoke script
-	// can parse the bound port when -addr ends in :0.
+	// can parse the bound port when -addr ends in :0. Printed only
+	// once /healthz actually answers 200.
 	log.Printf("serving on http://%s", ln.Addr())
 
 	// SIGHUP hot-reloads the checkpoint without dropping traffic; it
@@ -172,8 +214,6 @@ func main() {
 	// would have reported had anyone asked in time.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
 	select {
 	case err := <-serveErr:
 		// Serve only returns on listener failure here; shutdown exits
@@ -181,6 +221,10 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop()
+		// Fail readiness first: keepalive health probes racing the
+		// drain see 503 and route elsewhere while in-flight work
+		// finishes.
+		ready.Store(false)
 		log.Printf("shutdown signal received; draining in-flight requests")
 		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()

@@ -23,6 +23,18 @@
 //	            [-corpus corpus.mtc] [-db name] [-corpus-mode stream]
 //	            [-loss-out losses.txt]
 //	            [-mla] [-encoder-epochs 2] [-st-per-table 40]
+//	            [-resume state.snap] [-snapshot-every 0]
+//
+// -resume makes the run durable: training state (parameters, Adam
+// moments, shuffle position, running stats) is snapshotted atomically
+// to the given file — on SIGINT/SIGTERM (the run then exits 0) and,
+// with -snapshot-every N, after every N optimizer steps as crash
+// insurance against kill -9. When the file already exists the run
+// resumes from it mid-epoch; a missing file is a fresh start, so a
+// supervisor can always pass -resume and rerun until the process
+// exits 0 with the training complete. The resumed trajectory and
+// final model are bitwise identical to an uninterrupted run — the
+// property `make resume-smoke` asserts with a kill -9 drill.
 //
 // -mla switches to fleet pretraining (Algorithm 1) over EVERY
 // database of a -corpus artifact: per-DB featurizers pre-train from
@@ -55,11 +67,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"mtmlf/internal/catalog"
@@ -89,10 +104,16 @@ func main() {
 	mla := flag.Bool("mla", false, "fleet pretraining: run Algorithm 1 over every database of the -corpus artifact")
 	encEpochs := flag.Int("encoder-epochs", 2, "per-table encoder pre-training epochs (-mla)")
 	stPerTable := flag.Int("st-per-table", 40, "single-table queries per table for the -mla live-pretrain fallback on corpora whose Meta predates the recorded generation parameters")
+	resumePath := flag.String("resume", "", "training-state snapshot file: resumed from when present, written on SIGINT/SIGTERM (then exit 0) and every -snapshot-every steps")
+	snapEvery := flag.Int("snapshot-every", 0, "with -resume: also snapshot after every N optimizer steps (0 = only on interruption)")
 	flag.Parse()
 
 	tensor.SetParallelism(*workers)
 	start := time.Now()
+	snap := mtmlf.SnapshotOptions{
+		Path: *resumePath, Every: *snapEvery, Resume: *resumePath != "",
+		Interrupt: interruptOnSignal(*resumePath != ""),
+	}
 
 	if *mla {
 		// Fail loudly on flags the MLA path does not honor — silently
@@ -108,7 +129,7 @@ func main() {
 		case *sharedOnly:
 			log.Fatal("-mla checkpoints are always shared-only; drop -shared-only")
 		}
-		trainMLA(*corpusPath, *corpusMode, *epochs, *encEpochs, *stPerTable, *batch, *seed, *savePath, *lossOut)
+		trainMLA(*corpusPath, *corpusMode, *epochs, *encEpochs, *stPerTable, *batch, *seed, *savePath, *lossOut, snap)
 		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -222,8 +243,11 @@ func main() {
 	fmt.Printf("joint training (%d epochs, seq-level loss: %v)...\n", *epochs, *seqLoss)
 	st, err := model.TrainJointStream(src, mtmlf.TrainOptions{
 		Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss, BatchSize: *batch,
-		RecordTrajectory: *lossOut != "",
+		RecordTrajectory: *lossOut != "", Snapshot: snap,
 	})
+	if errors.Is(err, mtmlf.ErrInterrupted) {
+		exitInterrupted(*resumePath)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -255,19 +279,14 @@ func main() {
 	fmt.Printf("join order:    mean JOEU %.2f over %d labeled queries\n", js.Mean, js.N)
 
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// Checkpoints commit atomically (temp file + fsync + rename): a
+		// crash mid-save can never leave a torn artifact at -save.
 		if *sharedOnly {
-			err = mtmlf.SaveShared(f, model)
+			err = mtmlf.SaveSharedFile(*savePath, model)
 		} else {
-			err = mtmlf.Save(f, model)
+			err = mtmlf.SaveFile(*savePath, model)
 		}
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		if *sharedOnly {
@@ -279,13 +298,42 @@ func main() {
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
+// interruptOnSignal returns a channel closed on the first SIGINT or
+// SIGTERM, the cooperative stop the training loops snapshot on. After
+// the first signal the handler uninstalls itself, so a second signal
+// kills the process the default way. Disabled (nil) without -resume:
+// a run with nowhere to snapshot should just die.
+func interruptOnSignal(enabled bool) <-chan struct{} {
+	if !enabled {
+		return nil
+	}
+	stop := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		signal.Stop(ch)
+		fmt.Printf("%v: snapshotting at the next minibatch boundary (signal again to kill)\n", sig)
+		close(stop)
+	}()
+	return stop
+}
+
+// exitInterrupted reports a clean interruption and exits 0: the
+// snapshot holds the run's progress, so to a supervisor this is "not
+// done yet", not a failure.
+func exitInterrupted(resumePath string) {
+	fmt.Printf("interrupted: resumable snapshot at %s; rerun with the same flags to finish\n", resumePath)
+	os.Exit(0)
+}
+
 // trainMLA is the -mla mode: Algorithm 1 fleet pretraining from one
 // corpus artifact. Every database of the corpus joins the pool; the
 // featurizers pre-train from the v2 single-table sections when the
 // corpus has them (v1: live fallback); and the joint loop streams the
 // pooled examples from disk ("stream") or from materialized slices
 // ("inmem") — bitwise-identically either way.
-func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batch int, seed int64, savePath, lossOut string) {
+func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batch int, seed int64, savePath, lossOut string, snap mtmlf.SnapshotOptions) {
 	if corpusPath == "" {
 		log.Fatal("-mla requires -corpus (a fleet artifact written by mtmlf-datagen -single-table)")
 	}
@@ -348,9 +396,13 @@ func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batc
 		Seed:                mlaSeed,
 		BatchSize:           batch,
 		RecordTrajectory:    lossOut != "",
+		Snapshot:            snap,
 	}
 	fmt.Printf("fleet pretraining: (F) per DB, then joint (S)+(T) over the pooled stream (%d epochs)...\n", epochs)
 	tasks, st, err := mtmlf.TrainMLAStream(shared, cats, srcs, opts)
+	if errors.Is(err, mtmlf.ErrInterrupted) {
+		exitInterrupted(snap.Path)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -362,14 +414,7 @@ func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batc
 		fmt.Printf("wrote %d-step loss trajectory to %s\n", len(st.Trajectory), lossOut)
 	}
 	if savePath != "" {
-		f, err := os.Create(savePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := mtmlf.SaveShared(f, tasks[0].Model); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := mtmlf.SaveSharedFile(savePath, tasks[0].Model); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved shared-only (transfer) checkpoint to %s\n", savePath)

@@ -56,9 +56,13 @@ type LoadEntry struct {
 	// generator attempted against this endpoint.
 	Requests       uint64 `json:"requests"`
 	OK             uint64 `json:"ok"`
-	Shed           uint64 `json:"shed"`            // 429s
+	Shed           uint64 `json:"shed"`            // 429s (after the retry budget)
 	DeadlineMisses uint64 `json:"deadline_misses"` // 504s
 	Errors         uint64 `json:"errors"`          // everything else non-2xx + transport
+	// Retries counts extra attempts triggered by 429 responses when
+	// the generator runs with a retry budget (not included in
+	// Requests, which counts logical requests).
+	Retries uint64 `json:"retries,omitempty"`
 
 	// ThroughputRPS is OK / wall-clock duration — goodput, not offered
 	// load.

@@ -1,0 +1,123 @@
+// Package ckptio is the durability layer under every on-disk training
+// artifact: checkpoints, corpora, and training snapshots. It supplies
+// the two properties the artifacts themselves cannot express:
+//
+//   - integrity: a section frame wraps each gob payload in an explicit
+//     length and a CRC32C (Castagnoli) checksum, so truncation and bit
+//     rot fail the load with a typed *CorruptError instead of decoding
+//     into garbage weights;
+//   - atomicity: AtomicFile writes into a temp file in the destination
+//     directory and commits with fsync + rename + directory fsync, so
+//     a crash mid-write leaves either the previous artifact or the new
+//     one, never a torn hybrid.
+//
+// The package also hosts the fault-injection hooks the durability
+// tests drive: FailingWriter (fail or short-write after N bytes) and
+// the CrashPoint hook that stops a commit at a chosen point so tests
+// can observe the on-disk state a real crash would have left.
+package ckptio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// CorruptError reports an artifact whose bytes fail an integrity
+// check — truncation, bit rot, a torn write, or hostile input. It
+// exists so callers can distinguish "this file is damaged" (errors.As)
+// from I/O errors and honest version/config mismatches.
+type CorruptError struct {
+	// Artifact names the file kind ("checkpoint", "corpus",
+	// "snapshot").
+	Artifact string
+	// Reason describes the failed check.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return "ckptio: corrupt " + e.Artifact + ": " + e.Reason
+}
+
+// Corruptf builds a *CorruptError with a formatted reason.
+func Corruptf(artifact, format string, args ...any) error {
+	return &CorruptError{Artifact: artifact, Reason: fmt.Sprintf(format, args...)}
+}
+
+// castagnoli is the CRC32C polynomial table — the checksum family
+// storage systems standardized on (hardware-accelerated on amd64 and
+// arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of p.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// NewChecksum returns a running CRC32C hash (for writers that
+// checksum sections as bytes stream through).
+func NewChecksum() Hash32 { return crc32.New(castagnoli) }
+
+// Hash32 is the running-checksum interface writers thread through
+// (satisfied by hash/crc32's digest).
+type Hash32 interface {
+	io.Writer
+	Sum32() uint32
+	Reset()
+}
+
+// frameOverhead is the fixed byte cost of one section frame: an 8-byte
+// big-endian payload length plus a 4-byte big-endian CRC32C.
+const frameOverhead = 12
+
+// maxSectionBytes bounds a frame's declared payload length. A flipped
+// bit in the length field must fail as corruption, not as a
+// multi-gigabyte allocation.
+const maxSectionBytes = 1 << 30
+
+// WriteSection writes one framed section: [8B length][payload][4B
+// CRC32C of payload].
+func WriteSection(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], Checksum(payload))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadSection reads one framed section and verifies its checksum,
+// returning the payload. Truncation, an implausible length, and a
+// checksum mismatch all return a *CorruptError naming artifact.
+func ReadSection(r io.Reader, artifact string) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, Corruptf(artifact, "truncated section header: %v", err)
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	if n > maxSectionBytes {
+		return nil, Corruptf(artifact, "section length %d exceeds limit %d (corrupt length field?)", n, maxSectionBytes)
+	}
+	// Copy incrementally instead of pre-allocating n bytes: a corrupt
+	// length just under the cap must fail at EOF, not allocate a
+	// gigabyte first.
+	var buf bytes.Buffer
+	if m, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, Corruptf(artifact, "truncated section payload (%d of %d declared bytes): %v", m, n, err)
+	}
+	payload := buf.Bytes()
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, Corruptf(artifact, "truncated section checksum: %v", err)
+	}
+	if want, got := binary.BigEndian.Uint32(sum[:]), Checksum(payload); want != got {
+		return nil, Corruptf(artifact, "section checksum mismatch: stored %08x, computed %08x", want, got)
+	}
+	return payload, nil
+}

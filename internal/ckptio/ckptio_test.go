@@ -1,0 +1,200 @@
+package ckptio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSectionRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 70000)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteSection(&buf, p); err != nil {
+			t.Fatalf("WriteSection: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		got, err := ReadSection(r, "test")
+		if err != nil {
+			t.Fatalf("ReadSection %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("section %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, err := ReadSection(r, "test"); err == nil {
+		t.Fatal("ReadSection past the end should fail")
+	}
+}
+
+// Every single-bit flip of a framed section must fail the read with a
+// *CorruptError — the acceptance property the checkpoint and corpus
+// formats inherit from this frame.
+func TestSectionDetectsEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSection(&buf, []byte("durable training artifact")); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(orig)
+			mut[i] ^= 1 << bit
+			_, err := ReadSection(bytes.NewReader(mut), "test")
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip byte %d bit %d: got %v, want *CorruptError", i, bit, err)
+			}
+		}
+	}
+}
+
+// Every truncation must fail too, including cutting inside the
+// trailing checksum.
+func TestSectionDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSection(&buf, []byte("truncate me")); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for n := 0; n < len(orig); n++ {
+		_, err := ReadSection(bytes.NewReader(orig[:n]), "test")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncate to %d bytes: got %v, want *CorruptError", n, err)
+		}
+	}
+}
+
+func TestSectionRejectsHugeLength(t *testing.T) {
+	// A frame whose length field claims 2^40 bytes: must be rejected
+	// before any allocation of that size.
+	frame := make([]byte, 8)
+	frame[2] = 1 // big-endian 2^40
+	_, err := ReadSection(bytes.NewReader(frame), "test")
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A failing producer must leave the old file untouched and no temp
+	// litter.
+	wantErr := errors.New("producer failed")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want producer error", err)
+	}
+	assertFile(t, path, "old")
+	assertNoTemp(t, path)
+	// A successful producer replaces it.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertFile(t, path, "new")
+	assertNoTemp(t, path)
+}
+
+// A FailingWriter under WriteSection models a full disk / torn stream:
+// whatever prefix lands must fail the read as corrupt.
+func TestFailingWriterTornSection(t *testing.T) {
+	full := &bytes.Buffer{}
+	if err := WriteSection(full, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut < int64(full.Len()); cut += 3 {
+		var torn bytes.Buffer
+		fw := &FailingWriter{W: &torn, FailAfter: cut}
+		if err := WriteSection(fw, []byte("some payload bytes")); err == nil {
+			t.Fatalf("cut at %d: write should have failed", cut)
+		}
+		if int64(torn.Len()) != cut {
+			t.Fatalf("cut at %d: %d bytes reached the writer", cut, torn.Len())
+		}
+		_, err := ReadSection(bytes.NewReader(torn.Bytes()), "test")
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("cut at %d: got %v, want *CorruptError", cut, err)
+		}
+	}
+}
+
+// Crashing at each commit point must leave either the old artifact or
+// the new one at the destination — never a torn file.
+func TestCommitCrashPoints(t *testing.T) {
+	defer func() { CrashPoint = nil }()
+	for _, point := range []string{CrashBeforeSync, CrashBeforeRename, CrashAfterRename} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "artifact")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			crashErr := fmt.Errorf("crash at %s", point)
+			CrashPoint = func(p string) error {
+				if p == point {
+					return crashErr
+				}
+				return nil
+			}
+			err := WriteFileAtomic(path, func(w io.Writer) error {
+				_, err := w.Write([]byte("new"))
+				return err
+			})
+			CrashPoint = nil
+			if !errors.Is(err, crashErr) {
+				t.Fatalf("got %v, want crash error", err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("destination unreadable after crash: %v", rerr)
+			}
+			want := "old"
+			if point == CrashAfterRename {
+				want = "new"
+			}
+			if string(got) != want {
+				t.Fatalf("after crash at %s destination holds %q, want %q", point, got, want)
+			}
+		})
+	}
+}
+
+func assertFile(t *testing.T, path, want string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s holds %q, want %q", path, got, want)
+	}
+}
+
+func assertNoTemp(t *testing.T, path string) {
+	t.Helper()
+	matches, err := filepath.Glob(path + ".tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp litter left behind: %v", matches)
+	}
+}

@@ -1,0 +1,48 @@
+package ckptio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default failure a FailingWriter returns.
+var ErrInjected = errors.New("ckptio: injected write failure")
+
+// FailingWriter passes writes through to W until FailAfter total bytes
+// have been accepted, then fails — optionally after a short write of
+// the remaining budget, which is how a full disk or a killed process
+// actually truncates a stream. It is the unit-test stand-in for the
+// crashes scripts/crash_resume_smoke.sh injects for real with
+// SIGKILL.
+type FailingWriter struct {
+	W io.Writer
+	// FailAfter is the byte budget; writes past it fail.
+	FailAfter int64
+	// Err overrides ErrInjected.
+	Err error
+
+	written int64
+}
+
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	fail := f.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	remaining := f.FailAfter - f.written
+	if remaining <= 0 {
+		return 0, fail
+	}
+	if int64(len(p)) <= remaining {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	// Short write: accept only the remaining budget, then fail.
+	n, err := f.W.Write(p[:remaining])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, fail
+}

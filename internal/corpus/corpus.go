@@ -20,27 +20,37 @@
 //	             one stream PER EXAMPLE: the workload.LabeledQuery
 //	...        footer stream: the index — every database's schema
 //	           offset, optional single-table offset, and per-example
-//	           offsets
-//	end-16     trailer: big-endian footer offset (8 bytes) + trailer
-//	           magic "MTCORPV1" (8 bytes)
+//	           offsets (v3: plus a CRC32C per section and the header's
+//	           end offset + CRC)
+//	end-24     v3 trailer: big-endian footer offset (8 bytes) +
+//	           big-endian footer CRC32C (4 bytes) + reserved zeros
+//	           (4 bytes) + trailer magic "MTCORPV3" (8 bytes).
+//	           v1/v2 files instead end with the 16-byte legacy
+//	           trailer: footer offset (8 bytes) + magic "MTCORPV1".
 //
 // # Versions
 //
 // The header's version field gates the format. Version 1 has no
 // single-table sections; version 2 adds one optional single-table
 // stream per database, between the schema stream and the first
-// example, located by the index's SingleOff field (0 = absent). A v2
-// reader accepts both versions; v1 files simply report no
+// example, located by the index's SingleOff field (0 = absent);
+// version 3 adds integrity checksums: every section (header, schema,
+// single-table, each example, footer) carries a CRC32C, so any bit
+// flip or truncation anywhere in the file fails a read with a typed
+// *CorruptError instead of decoding garbage into a training run. The
+// reader accepts all three versions; v1 files simply report no
 // single-table data, so consumers fall back to generating it live
 // (featurize.PretrainAll instead of PretrainAllFrom). NewWriterVersion
-// still writes v1 files for compatibility tests and older readers.
+// still writes v1/v2 files for compatibility tests and older readers.
 //
-// Opening validates the whole index before any section is decoded:
+// Opening validates the trailer, the footer checksum (v3), the header
+// checksum (v3), and the whole index before any section is decoded:
 // every database range must lie inside the file, example offsets must
 // be strictly increasing inside their database's range, and section
 // order must be schema < single-table < examples. A corrupt index
 // fails at Open with a *CorruptError instead of panicking later in
-// the serving or training process.
+// the serving or training process. Schema, single-table, and example
+// sections are checksum-verified lazily, when first decoded.
 //
 // Every section being its own gob stream is what makes the format
 // seekable: the reader jumps to any example's offset and decodes just
@@ -68,13 +78,19 @@ const (
 	Magic = "MTMLF-CORPUS"
 	// Version is the current (and maximum readable) format version.
 	// v1: schema + examples; v2: adds the optional per-DB single-table
-	// pre-training section.
-	Version = 2
-	// trailerMagic closes the file; a torn or truncated write fails
+	// pre-training section; v3: adds per-section CRC32C checksums and
+	// the 24-byte trailer.
+	Version = 3
+	// trailerMagic closes a v1/v2 file; a torn or truncated write fails
 	// loudly at open instead of gob-decoding garbage.
 	trailerMagic = "MTCORPV1"
-	// trailerSize is the fixed byte size of the trailer.
+	// trailerSize is the fixed byte size of the legacy (v1/v2) trailer.
 	trailerSize = 16
+	// trailerMagicV3 closes a v3 file.
+	trailerMagicV3 = "MTCORPV3"
+	// trailerSizeV3 is the fixed byte size of the v3 trailer:
+	// [8B footer offset][4B footer CRC32C][4B reserved][8B magic].
+	trailerSizeV3 = 24
 )
 
 // Meta describes a corpus's provenance, echoed into the file at write
@@ -138,6 +154,13 @@ type dbIndex struct {
 	// fields zero, so v1 footers decode with SingleOff == 0 — exactly
 	// the "no section" encoding.
 	SingleOff int64
+	// SchemaCRC, SingleCRC, and ExampleCRCs (v3) are the CRC32C of the
+	// schema stream, the single-table stream, and each example stream,
+	// verified lazily when a section is first decoded. Zero-filled on
+	// v1/v2 files, whose sections carry no checksums.
+	SchemaCRC   uint32
+	SingleCRC   uint32
+	ExampleCRCs []uint32
 }
 
 // schemaEnd returns the offset one past the schema stream: the next
@@ -179,6 +202,11 @@ func corruptf(format string, args ...any) error {
 // footer is the seekable index written at the end of the file.
 type footer struct {
 	DBs []dbIndex
+	// HeaderEnd and HeaderCRC (v3) delimit and checksum the header
+	// stream (magic/version preamble + Meta), so bit rot in the header
+	// is caught before the header is gob-decoded. Zero on v1/v2 files.
+	HeaderEnd int64
+	HeaderCRC uint32
 }
 
 // toRecord flattens a database for encoding.

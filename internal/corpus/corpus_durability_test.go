@@ -1,0 +1,186 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"mtmlf/internal/catalog"
+	"mtmlf/internal/datagen"
+	"mtmlf/internal/workload"
+)
+
+// durableCorpusBytes builds a small in-memory corpus exercising every
+// section kind: header, schema, single-table, examples, footer.
+func durableCorpusBytes(t testing.TB, version int) []byte {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.MinTables, cfg.MaxTables = 4, 4
+	cfg.MinRows, cfg.MaxRows = 60, 100
+	db := datagen.GenerateFleet(37, 1, cfg)[0]
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxTables = 3
+	var buf bytes.Buffer
+	w, err := NewWriterVersion(&buf, Meta{Seed: 37, Note: "durability"}, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginDB(db); err != nil {
+		t.Fatal(err)
+	}
+	if version >= 2 {
+		if err := w.WriteSingleTable(singleTableSet(db, 38, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lq := range workload.GenerateSharded(catalog.NewMemory(db), 39, 3, 2, wcfg) {
+		if err := w.AppendExample(lq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openWalk opens a corpus from bytes and touches every lazily verified
+// section: meta, every schema, every single-table section, and every
+// example. It returns the first error, so a corruption anywhere in the
+// file surfaces no matter which section it landed in.
+func openWalk(data []byte) error {
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < r.NumDBs(); i++ {
+		c, err := r.Catalog(i)
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.SingleTable(); err != nil {
+			return err
+		}
+		ex, err := r.Examples(i)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < ex.Len(); j++ {
+			if _, err := ex.Example(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TestCorpusDetectsBitFlips: a single-bit flip anywhere in a v3
+// corpus — header, any data section, footer, trailer — must fail Open
+// or the walk with a *CorruptError. The full cross-product is fuzz
+// territory (FuzzCorpusOpen); this sweeps every bit of the header
+// region plus a stride across the rest.
+func TestCorpusDetectsBitFlips(t *testing.T) {
+	orig := durableCorpusBytes(t, Version)
+	if err := openWalk(orig); err != nil {
+		t.Fatalf("pristine corpus does not walk: %v", err)
+	}
+	check := func(i, bit int) {
+		mut := bytes.Clone(orig)
+		mut[i] ^= 1 << bit
+		err := openWalk(mut)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("flip byte %d bit %d: got %v, want *CorruptError", i, bit, err)
+		}
+	}
+	for i := 0; i < 64 && i < len(orig); i++ {
+		for bit := 0; bit < 8; bit++ {
+			check(i, bit)
+		}
+	}
+	stride := (len(orig) - 64) / 48
+	if stride < 1 {
+		stride = 1
+	}
+	for k, i := 0, 64; i < len(orig); k, i = k+1, i+stride {
+		check(i, k%8)
+	}
+	// The trailer is structural, not checksummed: sweep all of it.
+	for i := len(orig) - trailerSizeV3; i < len(orig); i++ {
+		for bit := 0; bit < 8; bit++ {
+			check(i, bit)
+		}
+	}
+}
+
+// TestCorpusDetectsTruncation: every truncated prefix of a v3 corpus
+// fails with a *CorruptError — the torn-write shape a crash mid-copy
+// produces (the writer itself commits atomically, see WriteFile).
+func TestCorpusDetectsTruncation(t *testing.T) {
+	orig := durableCorpusBytes(t, Version)
+	stride := (len(orig) - 64) / 48
+	if stride < 1 {
+		stride = 1
+	}
+	for n := 0; n < len(orig); n++ {
+		if n >= 64 && (n-64)%stride != 0 {
+			continue
+		}
+		err := openWalk(orig[:n])
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncate to %d bytes: got %v, want *CorruptError", n, err)
+		}
+	}
+}
+
+// TestCorpusV2StillReadable: the pre-checksum v2 format keeps loading
+// — sections decode, the single-table section round-trips, and the
+// reader reports Version 2.
+func TestCorpusV2StillReadable(t *testing.T) {
+	data := durableCorpusBytes(t, 2)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 2 {
+		t.Fatalf("version %d, want 2", r.Version())
+	}
+	if err := openWalk(data); err != nil {
+		t.Fatalf("v2 corpus does not walk: %v", err)
+	}
+	c, err := r.Catalog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.SingleTable(); !ok || err != nil {
+		t.Fatalf("v2 single-table section: ok=%v err=%v", ok, err)
+	}
+	// Same content written at v2 and v3 decodes to the same examples.
+	r3, err := func() (*Reader, error) {
+		d3 := durableCorpusBytes(t, 3)
+		return NewReader(bytes.NewReader(d3), int64(len(d3)))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := r.Examples(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex3, err := r3.Examples(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Len() != ex3.Len() {
+		t.Fatalf("example counts differ: %d vs %d", ex2.Len(), ex3.Len())
+	}
+	for i := 0; i < ex2.Len(); i++ {
+		a, b := mustExample(t, ex2, i), mustExample(t, ex3, i)
+		if math.Float64bits(a.Card) != math.Float64bits(b.Card) ||
+			math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {
+			t.Fatalf("example %d differs across versions", i)
+		}
+	}
+}

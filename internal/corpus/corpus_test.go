@@ -499,7 +499,7 @@ func TestV1StillReadable(t *testing.T) {
 		equalExamples(t, examples[i], mustExample(t, ex, i))
 	}
 
-	if _, err := NewWriterVersion(f, Meta{}, 3); err == nil {
+	if _, err := NewWriterVersion(f, Meta{}, Version+1); err == nil {
 		t.Fatal("future version must be unwritable")
 	}
 }

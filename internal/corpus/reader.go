@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"mtmlf/internal/catalog"
+	"mtmlf/internal/ckptio"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/stats"
@@ -56,37 +58,91 @@ func Open(path string) (*Reader, error) {
 // os.File, a bytes.Reader, an mmap).
 func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	if size < trailerSize {
-		return nil, fmt.Errorf("corpus: file too small (%d bytes)", size)
+		return nil, corruptf("file too small (%d bytes)", size)
 	}
-	// Trailer: footer offset + closing magic.
-	var trailer [trailerSize]byte
-	if _, err := ra.ReadAt(trailer[:], size-trailerSize); err != nil {
+	// Trailer. The last 8 bytes name the trailer format: v3's 24-byte
+	// checksummed trailer or the 16-byte legacy (v1/v2) one.
+	var tmagic [8]byte
+	if _, err := ra.ReadAt(tmagic[:], size-8); err != nil {
 		return nil, fmt.Errorf("corpus: read trailer: %w", err)
 	}
-	if string(trailer[8:]) != trailerMagic {
-		return nil, fmt.Errorf("corpus: bad trailer magic %q (truncated or foreign file?)", trailer[8:])
+	var footerOff, dataEnd int64
+	v3 := string(tmagic[:]) == trailerMagicV3
+	if v3 {
+		if size < trailerSizeV3 {
+			return nil, corruptf("file too small for a v3 trailer (%d bytes)", size)
+		}
+		var trailer [trailerSizeV3]byte
+		if _, err := ra.ReadAt(trailer[:], size-trailerSizeV3); err != nil {
+			return nil, fmt.Errorf("corpus: read trailer: %w", err)
+		}
+		for _, b := range trailer[12:16] {
+			if b != 0 {
+				return nil, corruptf("reserved trailer bytes are not zero")
+			}
+		}
+		footerOff = int64(binary.BigEndian.Uint64(trailer[:8]))
+		dataEnd = size - trailerSizeV3
+		if footerOff < 0 || footerOff >= dataEnd {
+			return nil, corruptf("footer offset %d outside file of %d bytes", footerOff, size)
+		}
+		// Verify the footer checksum before trusting any offset in it.
+		fb := make([]byte, dataEnd-footerOff)
+		if _, err := ra.ReadAt(fb, footerOff); err != nil {
+			return nil, corruptf("read footer: %v", err)
+		}
+		if want, got := binary.BigEndian.Uint32(trailer[8:12]), ckptio.Checksum(fb); want != got {
+			return nil, corruptf("footer checksum mismatch: stored %08x, computed %08x", want, got)
+		}
+	} else {
+		var trailer [trailerSize]byte
+		if _, err := ra.ReadAt(trailer[:], size-trailerSize); err != nil {
+			return nil, fmt.Errorf("corpus: read trailer: %w", err)
+		}
+		if string(trailer[8:]) != trailerMagic {
+			return nil, corruptf("bad trailer magic %q (truncated or foreign file?)", trailer[8:])
+		}
+		footerOff = int64(binary.BigEndian.Uint64(trailer[:8]))
+		dataEnd = size - trailerSize
+		if footerOff < 0 || footerOff >= dataEnd {
+			return nil, corruptf("footer offset %d outside file of %d bytes", footerOff, size)
+		}
 	}
-	footerOff := int64(binary.BigEndian.Uint64(trailer[:8]))
-	if footerOff < 0 || footerOff >= size-trailerSize {
-		return nil, fmt.Errorf("corpus: footer offset %d outside file of %d bytes", footerOff, size)
+	// Footer index (checksum already verified on v3 files).
+	var ft footer
+	dec := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, footerOff, dataEnd-footerOff)))
+	if err := dec.Decode(&ft); err != nil {
+		return nil, corruptf("decode footer: %v", err)
 	}
-	// Header: magic/version preamble + meta.
+	// Header: magic/version preamble + meta. On v3 files the header's
+	// bytes are checksum-verified before being gob-decoded, so a flip
+	// in (say) the version field reads as corruption, not as a foreign
+	// or future file.
+	if v3 {
+		if ft.HeaderEnd <= 0 || ft.HeaderEnd > footerOff {
+			return nil, corruptf("header end %d outside data region (0, %d]", ft.HeaderEnd, footerOff)
+		}
+		hb := make([]byte, ft.HeaderEnd)
+		if _, err := ra.ReadAt(hb, 0); err != nil {
+			return nil, corruptf("read header: %v", err)
+		}
+		if got := ckptio.Checksum(hb); got != ft.HeaderCRC {
+			return nil, corruptf("header checksum mismatch: stored %08x, computed %08x", ft.HeaderCRC, got)
+		}
+	}
 	hdr := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, 0, size)))
 	version, err := nn.ReadHeader(hdr, Magic, Version)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: not a corpus file: %w", err)
 	}
+	if v3 != (version >= 3) {
+		return nil, corruptf("header version %d inconsistent with trailer format %q", version, tmagic)
+	}
 	var meta Meta
 	if err := hdr.Decode(&meta); err != nil {
 		return nil, fmt.Errorf("corpus: read meta: %w", err)
 	}
-	// Footer index.
-	var ft footer
-	dec := gob.NewDecoder(bufio.NewReader(io.NewSectionReader(ra, footerOff, size-trailerSize-footerOff)))
-	if err := dec.Decode(&ft); err != nil {
-		return nil, fmt.Errorf("corpus: read footer: %w", err)
-	}
-	if err := validateIndex(ft.DBs, footerOff); err != nil {
+	if err := validateIndex(ft.DBs, footerOff, version); err != nil {
 		return nil, err
 	}
 	r := &Reader{ra: ra, meta: meta, version: version, index: ft.DBs, cats: make([]*DBCatalog, len(ft.DBs))}
@@ -103,8 +159,9 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 // are strictly increasing inside [Off, End). A violated invariant
 // means the file is corrupt (torn write, bit rot, hostile input); it
 // fails here with a *CorruptError instead of panicking later when
-// DBCatalog.DB or ExampleSet.Example slices a bogus byte range.
-func validateIndex(dbs []dbIndex, footerOff int64) error {
+// DBCatalog.DB or ExampleSet.Example slices a bogus byte range. On v3
+// files every example must also carry a checksum.
+func validateIndex(dbs []dbIndex, footerOff int64, version int) error {
 	prevEnd := int64(0)
 	for i := range dbs {
 		d := &dbs[i]
@@ -132,6 +189,10 @@ func validateIndex(dbs []dbIndex, footerOff int64) error {
 			}
 			lo = off
 		}
+		if version >= 3 && len(d.ExampleCRCs) != len(d.ExampleOffs) {
+			return corruptf("database %d (%q): %d example checksums for %d examples",
+				i, d.Name, len(d.ExampleCRCs), len(d.ExampleOffs))
+		}
 	}
 	return nil
 }
@@ -147,7 +208,7 @@ func (r *Reader) Close() error {
 // Meta returns the corpus provenance record.
 func (r *Reader) Meta() Meta { return r.meta }
 
-// Version returns the file's format version (1 or 2).
+// Version returns the file's format version (1, 2, or 3).
 func (r *Reader) Version() int { return r.version }
 
 // NumDBs returns the number of databases in the corpus.
@@ -201,6 +262,24 @@ func (r *Reader) section(off, end int64) *gob.Decoder {
 	return gob.NewDecoder(bufio.NewReader(io.NewSectionReader(r.ra, off, end-off)))
 }
 
+// verifiedSection returns a decoder over [off, end) after checking the
+// section's CRC32C (v3 files; earlier versions carry no checksums and
+// decode directly). This is the lazy half of the integrity contract:
+// the index is verified at Open, each data section on first decode.
+func (r *Reader) verifiedSection(off, end int64, want uint32, what string) (*gob.Decoder, error) {
+	if r.version < 3 {
+		return r.section(off, end), nil
+	}
+	buf := make([]byte, end-off)
+	if _, err := r.ra.ReadAt(buf, off); err != nil {
+		return nil, corruptf("read %s: %v", what, err)
+	}
+	if got := ckptio.Checksum(buf); got != want {
+		return nil, corruptf("%s checksum mismatch: stored %08x, computed %08x", what, want, got)
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)), nil
+}
+
 // DBCatalog is one corpus database behind the catalog.Catalog
 // interface: the on-disk backend's answer to catalog.Memory.
 type DBCatalog struct {
@@ -221,9 +300,14 @@ var _ catalog.Catalog = (*DBCatalog)(nil)
 func (c *DBCatalog) load() error {
 	c.dbOnce.Do(func() {
 		d := c.r.index[c.idx]
+		dec, err := c.r.verifiedSection(d.Off, d.schemaEnd(), d.SchemaCRC, fmt.Sprintf("schema of %q", d.Name))
+		if err != nil {
+			c.dbErr = err
+			return
+		}
 		var rec dbRecord
-		if err := c.r.section(d.Off, d.schemaEnd()).Decode(&rec); err != nil {
-			c.dbErr = fmt.Errorf("corpus: decode database %q: %w", d.Name, err)
+		if err := dec.Decode(&rec); err != nil {
+			c.dbErr = corruptf("decode database %q: %v", d.Name, err)
 			return
 		}
 		c.db, c.dbErr = fromRecord(rec)
@@ -269,8 +353,12 @@ func (c *DBCatalog) SingleTable() (data []workload.TableWorkload, ok bool, err e
 	if d.SingleOff == 0 {
 		return nil, false, nil
 	}
-	if err := c.r.section(d.SingleOff, d.singleEnd()).Decode(&data); err != nil {
-		return nil, false, fmt.Errorf("corpus: decode single-table section of %q: %w", d.Name, err)
+	dec, err := c.r.verifiedSection(d.SingleOff, d.singleEnd(), d.SingleCRC, fmt.Sprintf("single-table section of %q", d.Name))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := dec.Decode(&data); err != nil {
+		return nil, false, corruptf("decode single-table section of %q: %v", d.Name, err)
 	}
 	return data, true, nil
 }
@@ -300,9 +388,17 @@ func (s *ExampleSet) Example(i int) (*workload.LabeledQuery, error) {
 	if i+1 < len(s.d.ExampleOffs) {
 		end = s.d.ExampleOffs[i+1]
 	}
+	var crc uint32
+	if i < len(s.d.ExampleCRCs) {
+		crc = s.d.ExampleCRCs[i]
+	}
+	dec, err := s.r.verifiedSection(off, end, crc, fmt.Sprintf("example %d of %q", i, s.d.Name))
+	if err != nil {
+		return nil, err
+	}
 	var lq workload.LabeledQuery
-	if err := s.r.section(off, end).Decode(&lq); err != nil {
-		return nil, fmt.Errorf("corpus: decode example %d of %q: %w", i, s.d.Name, err)
+	if err := dec.Decode(&lq); err != nil {
+		return nil, corruptf("decode example %d of %q: %v", i, s.d.Name, err)
 	}
 	return &lq, nil
 }

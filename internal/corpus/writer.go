@@ -6,23 +6,28 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 
+	"mtmlf/internal/ckptio"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/workload"
 )
 
 // countWriter counts bytes written so the writer can record section
-// offsets without seeking (the format is append-only).
+// offsets without seeking (the format is append-only). When crc is
+// non-nil every byte also feeds the running section checksum (v3).
 type countWriter struct {
-	w io.Writer
-	n int64
+	w   io.Writer
+	n   int64
+	crc ckptio.Hash32
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	if c.crc != nil && n > 0 {
+		c.crc.Write(p[:n])
+	}
 	return n, err
 }
 
@@ -38,6 +43,25 @@ type Writer struct {
 	version int
 	open    bool
 	closed  bool
+
+	// headerEnd/headerCRC delimit and checksum the header stream (v3).
+	headerEnd int64
+	headerCRC uint32
+}
+
+// resetCRC starts a new section checksum (no-op below v3).
+func (w *Writer) resetCRC() {
+	if w.cw.crc != nil {
+		w.cw.crc.Reset()
+	}
+}
+
+// sumCRC finishes the current section checksum (0 below v3).
+func (w *Writer) sumCRC() uint32 {
+	if w.cw.crc == nil {
+		return 0
+	}
+	return w.cw.crc.Sum32()
 }
 
 // NewWriter writes the header and returns a corpus writer for the
@@ -57,6 +81,9 @@ func NewWriterVersion(w io.Writer, meta Meta, version int) (*Writer, error) {
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	cw := &countWriter{w: bw}
+	if version >= 3 {
+		cw.crc = ckptio.NewChecksum()
+	}
 	enc := gob.NewEncoder(cw)
 	if err := nn.WriteHeader(enc, Magic, version); err != nil {
 		return nil, fmt.Errorf("corpus: write header: %w", err)
@@ -64,7 +91,10 @@ func NewWriterVersion(w io.Writer, meta Meta, version int) (*Writer, error) {
 	if err := enc.Encode(meta); err != nil {
 		return nil, fmt.Errorf("corpus: write meta: %w", err)
 	}
-	return &Writer{cw: cw, flush: bw, version: version}, nil
+	out := &Writer{cw: cw, flush: bw, version: version}
+	out.headerEnd = cw.n
+	out.headerCRC = out.sumCRC()
+	return out, nil
 }
 
 // BeginDB starts a new database section, writing its schema and
@@ -76,9 +106,11 @@ func (w *Writer) BeginDB(db *sqldb.DB) error {
 	w.endDB()
 	w.dbs = append(w.dbs, dbIndex{Name: db.Name, Off: w.cw.n})
 	w.open = true
+	w.resetCRC()
 	if err := encodeSection(w.cw, toRecord(db)); err != nil {
 		return fmt.Errorf("corpus: write database %q: %w", db.Name, err)
 	}
+	w.dbs[len(w.dbs)-1].SchemaCRC = w.sumCRC()
 	return nil
 }
 
@@ -105,9 +137,11 @@ func (w *Writer) WriteSingleTable(data []workload.TableWorkload) error {
 		return fmt.Errorf("corpus: duplicate single-table section for %q", d.Name)
 	}
 	d.SingleOff = w.cw.n
+	w.resetCRC()
 	if err := encodeSection(w.cw, data); err != nil {
 		return fmt.Errorf("corpus: write single-table section of %q: %w", d.Name, err)
 	}
+	d.SingleCRC = w.sumCRC()
 	return nil
 }
 
@@ -121,8 +155,12 @@ func (w *Writer) AppendExample(lq *workload.LabeledQuery) error {
 	}
 	d := &w.dbs[len(w.dbs)-1]
 	d.ExampleOffs = append(d.ExampleOffs, w.cw.n)
+	w.resetCRC()
 	if err := encodeSection(w.cw, lq); err != nil {
 		return fmt.Errorf("corpus: write example %d of %q: %w", len(d.ExampleOffs)-1, d.Name, err)
+	}
+	if w.version >= 3 {
+		d.ExampleCRCs = append(d.ExampleCRCs, w.sumCRC())
 	}
 	return nil
 }
@@ -144,14 +182,26 @@ func (w *Writer) Close() error {
 	w.closed = true
 	w.endDB()
 	footerOff := w.cw.n
-	if err := encodeSection(w.cw, footer{DBs: w.dbs}); err != nil {
+	w.resetCRC()
+	if err := encodeSection(w.cw, footer{DBs: w.dbs, HeaderEnd: w.headerEnd, HeaderCRC: w.headerCRC}); err != nil {
 		return fmt.Errorf("corpus: write footer: %w", err)
 	}
-	var trailer [trailerSize]byte
-	binary.BigEndian.PutUint64(trailer[:8], uint64(footerOff))
-	copy(trailer[8:], trailerMagic)
-	if _, err := w.cw.Write(trailer[:]); err != nil {
-		return fmt.Errorf("corpus: write trailer: %w", err)
+	footerCRC := w.sumCRC()
+	if w.version >= 3 {
+		var trailer [trailerSizeV3]byte
+		binary.BigEndian.PutUint64(trailer[:8], uint64(footerOff))
+		binary.BigEndian.PutUint32(trailer[8:12], footerCRC)
+		copy(trailer[16:], trailerMagicV3)
+		if _, err := w.cw.Write(trailer[:]); err != nil {
+			return fmt.Errorf("corpus: write trailer: %w", err)
+		}
+	} else {
+		var trailer [trailerSize]byte
+		binary.BigEndian.PutUint64(trailer[:8], uint64(footerOff))
+		copy(trailer[8:], trailerMagic)
+		if _, err := w.cw.Write(trailer[:]); err != nil {
+			return fmt.Errorf("corpus: write trailer: %w", err)
+		}
 	}
 	return w.flush.Flush()
 }
@@ -167,35 +217,30 @@ type Database struct {
 	SingleTable []workload.TableWorkload
 }
 
-// WriteFile writes a whole corpus to path in one call.
-func WriteFile(path string, meta Meta, dbs []*Database) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	w, err := NewWriter(f, meta)
-	if err != nil {
-		return err
-	}
-	for _, d := range dbs {
-		if err := w.BeginDB(d.DB); err != nil {
+// WriteFile writes a whole corpus to path in one call. The write is
+// atomic (temp file + fsync + rename): a crash mid-write leaves the
+// previous corpus, or nothing — never a torn file.
+func WriteFile(path string, meta Meta, dbs []*Database) error {
+	return ckptio.WriteFileAtomic(path, func(f io.Writer) error {
+		w, err := NewWriter(f, meta)
+		if err != nil {
 			return err
 		}
-		if d.SingleTable != nil {
-			if err := w.WriteSingleTable(d.SingleTable); err != nil {
+		for _, d := range dbs {
+			if err := w.BeginDB(d.DB); err != nil {
 				return err
 			}
-		}
-		for _, lq := range d.Examples {
-			if err := w.AppendExample(lq); err != nil {
-				return err
+			if d.SingleTable != nil {
+				if err := w.WriteSingleTable(d.SingleTable); err != nil {
+					return err
+				}
+			}
+			for _, lq := range d.Examples {
+				if err := w.AppendExample(lq); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	return w.Close()
+		return w.Close()
+	})
 }

@@ -230,6 +230,13 @@ type Options struct {
 	// /reloadz once at that offset into the run — the hot-reload-
 	// under-fire drill.
 	ReloadAfter time.Duration
+	// Retries is the per-request retry budget for shed (429)
+	// responses: each retry waits max(the server's Retry-After,
+	// capped exponential backoff) plus jitter, then resends. 0
+	// disables retries — a 429 is recorded as shed immediately, the
+	// overload-measurement default. Retries abort early when the run
+	// ends mid-wait.
+	Retries int
 	// Client overrides the HTTP client (tests); nil builds one sized
 	// to the run.
 	Client *http.Client
@@ -239,9 +246,10 @@ type Options struct {
 type EndpointResult struct {
 	Requests       uint64
 	OK             uint64
-	Shed           uint64 // 429
+	Shed           uint64 // 429 (after the retry budget, if any)
 	DeadlineMisses uint64 // 504
 	Errors         uint64 // transport errors + every other non-2xx
+	Retries        uint64 // extra 429-triggered attempts (Options.Retries)
 	Hist           Histogram
 }
 
@@ -294,6 +302,7 @@ func (r *Result) LoadEntries(name string, concurrency int, rateQPS float64, mix 
 			Shed:           res.Shed,
 			DeadlineMisses: res.DeadlineMisses,
 			Errors:         res.Errors,
+			Retries:        res.Retries,
 			P50Ms:          res.Hist.PercentileMs(0.50),
 			P90Ms:          res.Hist.PercentileMs(0.90),
 			P95Ms:          res.Hist.PercentileMs(0.95),
@@ -342,6 +351,12 @@ func (rec *recorder) record(ep string, status int, lat time.Duration, transportE
 	default:
 		r.Errors++
 	}
+}
+
+func (rec *recorder) retry(ep string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.eps[ep].Retries++
 }
 
 // picker owns one worker's randomness: endpoint mix and Zipf item
@@ -455,7 +470,7 @@ func runClosedLoop(ctx context.Context, client *http.Client, opts Options, pool 
 			pick := newPicker(opts.Seed+int64(w)*7919, opts.Mix, len(pool.Items), opts.ZipfS)
 			for ctx.Err() == nil {
 				ep, item := pick.next()
-				doRequest(client, opts, pool.Items[item], ep, rec)
+				doRequest(ctx, client, opts, pool.Items[item], ep, rec)
 			}
 		}(w)
 	}
@@ -482,18 +497,70 @@ func runOpenLoop(ctx context.Context, client *http.Client, opts Options, pool *P
 			wg.Add(1)
 			go func(body []byte, ep string) {
 				defer wg.Done()
-				doRequest(client, opts, body, ep, rec)
+				doRequest(ctx, client, opts, body, ep, rec)
 			}(pool.Items[item], ep)
 		}
 	}
 }
 
-// doRequest fires one request and records its outcome. Its context
-// is independent of the run context: a request in flight when the run
-// ends is allowed to finish (closed-loop workers exit at the next
-// iteration), so the tail of the histogram is never truncated by the
-// run boundary.
-func doRequest(client *http.Client, opts Options, body []byte, ep string, rec *recorder) {
+// Retry backoff shape: max(server Retry-After, retryBase·2^attempt
+// capped at retryCap) plus up to 50% random jitter so a fleet of shed
+// workers doesn't retry in lockstep.
+const (
+	retryBase = 25 * time.Millisecond
+	retryCap  = time.Second
+)
+
+// retryDelay computes the wait before retry number attempt (0-based),
+// honoring the server's Retry-After hint when it is longer than the
+// local backoff.
+func retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBase
+	for i := 0; i < attempt && d < retryCap; i++ {
+		d *= 2
+	}
+	d = min(d, retryCap)
+	d = max(d, retryAfter)
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// parseRetryAfter reads a 429's Retry-After header (delay-seconds
+// form; 0 when absent or unparsable).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || s < 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// doRequest fires one logical request — retrying shed (429) responses
+// within Options.Retries — and records its final outcome. Only the
+// wait between retries watches the run context: an attempt in flight
+// when the run ends is allowed to finish (closed-loop workers exit at
+// the next iteration), so the tail of the histogram is never
+// truncated by the run boundary.
+func doRequest(ctx context.Context, client *http.Client, opts Options, body []byte, ep string, rec *recorder) {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, lat, transportErr := doAttempt(client, opts, body, ep)
+		if status == http.StatusTooManyRequests && attempt < opts.Retries {
+			timer := time.NewTimer(retryDelay(attempt, retryAfter))
+			select {
+			case <-timer.C:
+				rec.retry(ep)
+				continue
+			case <-ctx.Done():
+				timer.Stop()
+				// Run over mid-wait: the shed response stands.
+			}
+		}
+		rec.record(ep, status, lat, transportErr)
+		return
+	}
+}
+
+// doAttempt sends one HTTP request and reports its outcome.
+func doAttempt(client *http.Client, opts Options, body []byte, ep string) (status int, retryAfter time.Duration, lat time.Duration, transportErr bool) {
 	reqCtx := context.Background()
 	if opts.DeadlineMs > 0 {
 		// Client-side timeout = deadline + margin: the server is the
@@ -505,8 +572,7 @@ func doRequest(client *http.Client, opts Options, body []byte, ep string, rec *r
 	}
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, opts.BaseURL+endpointPaths[ep], bytes.NewReader(body))
 	if err != nil {
-		rec.record(ep, 0, 0, true)
-		return
+		return 0, 0, 0, true
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if opts.DeadlineMs > 0 {
@@ -514,13 +580,13 @@ func doRequest(client *http.Client, opts Options, body []byte, ep string, rec *r
 	}
 	start := time.Now()
 	resp, err := client.Do(req)
-	lat := time.Since(start)
+	lat = time.Since(start)
 	if err != nil {
-		rec.record(ep, 0, lat, true)
-		return
+		return 0, 0, lat, true
 	}
+	retryAfter = parseRetryAfter(resp)
 	drain(resp)
-	rec.record(ep, resp.StatusCode, lat, false)
+	return resp.StatusCode, retryAfter, lat, false
 }
 
 func doReload(client *http.Client, baseURL string, out *ReloadResult) {
@@ -551,8 +617,8 @@ func drain(resp *http.Response) {
 // omitted).
 func FormatResult(r *Result, mix Mix) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %9s %9s %6s %6s %6s %9s %9s %9s %9s %9s\n",
-		"endpoint", "requests", "ok", "shed", "miss", "err", "rps", "p50ms", "p95ms", "p99ms", "maxms")
+	fmt.Fprintf(&b, "%-10s %9s %9s %6s %6s %6s %6s %9s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "ok", "shed", "miss", "err", "retry", "rps", "p50ms", "p95ms", "p99ms", "maxms")
 	for _, ep := range EndpointOrder {
 		res := r.Endpoints[ep]
 		if res == nil || mix.Weight(ep) == 0 {
@@ -562,8 +628,8 @@ func FormatResult(r *Result, mix Mix) string {
 		if r.Elapsed > 0 {
 			rps = float64(res.OK) / r.Elapsed.Seconds()
 		}
-		fmt.Fprintf(&b, "%-10s %9d %9d %6d %6d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
-			ep, res.Requests, res.OK, res.Shed, res.DeadlineMisses, res.Errors, rps,
+		fmt.Fprintf(&b, "%-10s %9d %9d %6d %6d %6d %6d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
+			ep, res.Requests, res.OK, res.Shed, res.DeadlineMisses, res.Errors, res.Retries, rps,
 			res.Hist.PercentileMs(0.50), res.Hist.PercentileMs(0.95), res.Hist.PercentileMs(0.99),
 			float64(res.Hist.Max())/float64(time.Millisecond))
 	}

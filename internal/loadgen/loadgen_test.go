@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -185,6 +187,80 @@ func TestRunDeadTarget(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("dead-target failure was not fast")
+	}
+}
+
+// TestRetriesRecoverShedRequests: with a retry budget, a request shed
+// with 429 + Retry-After is retried after a backoff and succeeds once
+// the server admits it — sheds convert to OK and the retry count is
+// reported.
+func TestRetriesRecoverShedRequests(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			// Shed the first two attempts: the first logical request
+			// must burn exactly two retries before succeeding.
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	pool := &Pool{Items: [][]byte{[]byte(`{}`)}, Source: "test"}
+	res, err := Run(Options{
+		BaseURL:     srv.URL,
+		Duration:    400 * time.Millisecond,
+		Concurrency: 1,
+		Mix:         Mix{Card: 1},
+		Retries:     3,
+		Seed:        3,
+		Client:      srv.Client(),
+	}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := res.Endpoints["card"]
+	if card.Shed != 0 {
+		t.Fatalf("retries exhausted: %d sheds recorded, want 0", card.Shed)
+	}
+	if card.Retries != 2 {
+		t.Fatalf("recorded %d retries, want 2", card.Retries)
+	}
+	if card.OK == 0 || card.OK != card.Requests {
+		t.Fatalf("ok=%d requests=%d, want all ok", card.OK, card.Requests)
+	}
+	entries := res.LoadEntries("c1", 1, 0, Mix{Card: 1})
+	if len(entries) != 1 || entries[0].Retries != 2 {
+		t.Fatalf("load entries missing retry count: %+v", entries)
+	}
+	if out := FormatResult(res, Mix{Card: 1}); !strings.Contains(out, "retry") {
+		t.Fatalf("FormatResult lacks retry column:\n%s", out)
+	}
+}
+
+// TestRetryDelayShape: the wait is max(Retry-After, capped exponential
+// backoff) plus at most 50% jitter.
+func TestRetryDelayShape(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		if d := retryDelay(0, 0); d < retryBase || d > retryBase*3/2 {
+			t.Fatalf("first retry delay %v outside [%v, %v]", d, retryBase, retryBase*3/2)
+		}
+		if d := retryDelay(0, 2*time.Second); d < 2*time.Second || d > 3*time.Second {
+			t.Fatalf("Retry-After=2s delay %v outside [2s, 3s]", d)
+		}
+		if d := retryDelay(30, 0); d > retryCap*3/2 {
+			t.Fatalf("backoff escaped the cap: %v", d)
+		}
 	}
 }
 

@@ -6,15 +6,25 @@
 // covers the transferable (S)+(T) stack but silently drops the
 // per-database featurizer (F) weights, so a "loaded" model serves
 // from randomly initialized table encoders. The checkpoint format
-// here persists everything a serving process needs:
+// here persists everything a serving process needs.
 //
-//	header  — magic + version (nn.WriteHeader)
-//	meta    — the Config echo, the database identity (name, table
-//	          list, per-table row counts), and whether the file is
-//	          shared-only
-//	params  — one shape-validated section: Model.Params() (Shared
-//	          then Featurizer) for full files, Shared.Params() for
-//	          shared-only files
+// Format v2 (current) is built on ckptio's durability primitives:
+//
+//	preamble — 10-byte magic "MTMLF-CKPT" + 2-byte big-endian version
+//	meta     — one ckptio section frame ([length][gob checkpointMeta]
+//	           [CRC32C]): the Config echo, the database identity
+//	           (name, table list, per-table row counts), and whether
+//	           the file is shared-only
+//	params   — one ckptio section frame holding the gob parameter
+//	           blobs: Model.Params() (Shared then Featurizer) for full
+//	           files, Shared.Params() for shared-only files
+//
+// Every byte after the preamble is covered by a frame checksum, and
+// the preamble itself only has one valid value, so ANY single-bit
+// flip or truncation fails the load with a typed *ckptio.CorruptError
+// before a weight is touched. Version 1 (a single gob stream:
+// nn.WriteHeader header, meta, params — no checksums) stays readable;
+// the loader sniffs the first bytes and dispatches.
 //
 // Loads are strict: wrong magic, future version, a different Config,
 // or a mismatched table list all fail with a descriptive error before
@@ -25,14 +35,20 @@
 //
 // SaveShared writes a shared-only checkpoint — the paper's transfer
 // artifact, loadable into a model for a *different* database (whose
-// featurizer then pretrains locally, Algorithm 1 line 4).
+// featurizer then pretrains locally, Algorithm 1 line 4). SaveFile
+// and SaveSharedFile are the same artifacts written atomically (temp
+// file + fsync + rename), so a crash mid-save never tears a
+// checkpoint a server might reload.
 package mtmlf
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"mtmlf/internal/ckptio"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/sqldb"
 )
@@ -41,8 +57,12 @@ const (
 	// CheckpointMagic identifies an MTMLF checkpoint stream.
 	CheckpointMagic = "MTMLF-CKPT"
 	// CheckpointVersion is the current (and maximum readable) format
-	// version.
-	CheckpointVersion = 1
+	// version. v1: one gob stream, no checksums; v2: raw preamble +
+	// CRC32C-framed sections.
+	CheckpointVersion = 2
+	// ckptPreambleSize is the raw v2 preamble: 10 bytes of magic plus a
+	// 2-byte big-endian version.
+	ckptPreambleSize = 12
 )
 
 // CheckpointInfo describes a checkpoint's provenance, echoed into the
@@ -69,7 +89,7 @@ type CheckpointInfo struct {
 }
 
 // checkpointMeta is the on-wire metadata record (Version travels in
-// the header, not here).
+// the preamble, not here).
 type checkpointMeta struct {
 	Config     Config
 	DBName     string
@@ -91,10 +111,25 @@ func SaveShared(w io.Writer, m *Model) error {
 	return save(w, m, true)
 }
 
+// SaveFile writes a full-model checkpoint to path atomically: the
+// destination only ever holds a complete checkpoint, even across a
+// crash mid-save — the property hot reload (mtmlf-serve re-reading
+// the path) and crash-resumed training both depend on.
+func SaveFile(path string, m *Model) error {
+	return ckptio.WriteFileAtomic(path, func(w io.Writer) error { return Save(w, m) })
+}
+
+// SaveSharedFile is SaveShared with SaveFile's atomicity.
+func SaveSharedFile(path string, m *Model) error {
+	return ckptio.WriteFileAtomic(path, func(w io.Writer) error { return SaveShared(w, m) })
+}
+
 func save(w io.Writer, m *Model, sharedOnly bool) error {
-	enc := gob.NewEncoder(w)
-	if err := nn.WriteHeader(enc, CheckpointMagic, CheckpointVersion); err != nil {
-		return fmt.Errorf("mtmlf: write checkpoint header: %w", err)
+	var pre [ckptPreambleSize]byte
+	copy(pre[:10], CheckpointMagic)
+	binary.BigEndian.PutUint16(pre[10:], CheckpointVersion)
+	if _, err := w.Write(pre[:]); err != nil {
+		return fmt.Errorf("mtmlf: write checkpoint preamble: %w", err)
 	}
 	db := m.Feat.DB
 	meta := checkpointMeta{
@@ -104,7 +139,11 @@ func save(w io.Writer, m *Model, sharedOnly bool) error {
 		TableRows:  tableRows(db),
 		SharedOnly: sharedOnly,
 	}
-	if err := enc.Encode(meta); err != nil {
+	var mbuf bytes.Buffer
+	if err := gob.NewEncoder(&mbuf).Encode(meta); err != nil {
+		return fmt.Errorf("mtmlf: encode checkpoint meta: %w", err)
+	}
+	if err := ckptio.WriteSection(w, mbuf.Bytes()); err != nil {
 		return fmt.Errorf("mtmlf: write checkpoint meta: %w", err)
 	}
 	// One parameter section: the full Model.Params() order (Shared
@@ -113,7 +152,11 @@ func save(w io.Writer, m *Model, sharedOnly bool) error {
 	if sharedOnly {
 		params = m.Shared.Params()
 	}
-	if err := nn.EncodeParams(enc, params); err != nil {
+	var pbuf bytes.Buffer
+	if err := nn.EncodeParams(gob.NewEncoder(&pbuf), params); err != nil {
+		return fmt.Errorf("mtmlf: encode parameters: %w", err)
+	}
+	if err := ckptio.WriteSection(w, pbuf.Bytes()); err != nil {
 		return fmt.Errorf("mtmlf: write parameters: %w", err)
 	}
 	return nil
@@ -134,8 +177,7 @@ func tableRows(db *sqldb.DB) []int {
 // checkpoints load (S)+(T) and skip the featurizer — that is the
 // transfer path, so the table lists may differ.
 func Load(r io.Reader, m *Model) (*CheckpointInfo, error) {
-	dec := gob.NewDecoder(r)
-	info, err := readMeta(dec)
+	info, dec, err := openCheckpoint(r)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +204,7 @@ func Load(r io.Reader, m *Model) (*CheckpointInfo, error) {
 // checkpoints: a served model needs trained featurizer weights, and a
 // transfer checkpoint by definition has none for this database.
 func LoadModel(r io.Reader, db *sqldb.DB) (*Model, *CheckpointInfo, error) {
-	dec := gob.NewDecoder(r)
-	info, err := readMeta(dec)
+	info, dec, err := openCheckpoint(r)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,6 +214,9 @@ func LoadModel(r io.Reader, db *sqldb.DB) (*Model, *CheckpointInfo, error) {
 	if err := sameDatabase(info, db); err != nil {
 		return nil, nil, err
 	}
+	if err := validateConfig(info.Config); err != nil {
+		return nil, nil, err
+	}
 	m := NewModel(info.Config, db, 0)
 	if err := nn.DecodeParams(dec, m.Params()); err != nil {
 		return nil, nil, fmt.Errorf("mtmlf: load parameters: %w", err)
@@ -180,24 +224,105 @@ func LoadModel(r io.Reader, db *sqldb.DB) (*Model, *CheckpointInfo, error) {
 	return m, info, nil
 }
 
-// readMeta consumes the header and metadata records.
-func readMeta(dec *gob.Decoder) (*CheckpointInfo, error) {
+// openCheckpoint sniffs the format, validates everything up to and
+// including the metadata, and returns the info plus a decoder
+// positioned at the parameter section. v2 files are recognized by
+// their raw preamble; anything else falls back to the v1 single-gob-
+// stream layout, whose decode failures are reported as corruption
+// (the bytes claim to be a checkpoint and are not).
+func openCheckpoint(r io.Reader) (*CheckpointInfo, *gob.Decoder, error) {
+	pre := make([]byte, ckptPreambleSize)
+	n, _ := io.ReadFull(r, pre)
+	pre = pre[:n]
+	if n >= len(CheckpointMagic) && string(pre[:len(CheckpointMagic)]) == CheckpointMagic {
+		if n < ckptPreambleSize {
+			return nil, nil, ckptio.Corruptf("checkpoint", "truncated preamble (%d bytes)", n)
+		}
+		v := int(binary.BigEndian.Uint16(pre[10:]))
+		if v != CheckpointVersion {
+			// A framed file has exactly one valid version today; any
+			// other value is bit rot in the version field or a future
+			// format this build cannot read.
+			return nil, nil, ckptio.Corruptf("checkpoint", "unsupported framed version %d (supported %d; damaged version field or future file)", v, CheckpointVersion)
+		}
+		metaPayload, err := ckptio.ReadSection(r, "checkpoint")
+		if err != nil {
+			return nil, nil, fmt.Errorf("mtmlf: checkpoint meta: %w", err)
+		}
+		var meta checkpointMeta
+		if err := gob.NewDecoder(bytes.NewReader(metaPayload)).Decode(&meta); err != nil {
+			return nil, nil, ckptio.Corruptf("checkpoint", "meta section passed its checksum but does not decode: %v", err)
+		}
+		paramsPayload, err := ckptio.ReadSection(r, "checkpoint")
+		if err != nil {
+			return nil, nil, fmt.Errorf("mtmlf: checkpoint parameters: %w", err)
+		}
+		return infoFrom(v, meta), gob.NewDecoder(bytes.NewReader(paramsPayload)), nil
+	}
+	// v1: one gob stream from byte 0 (header, meta, params). Reattach
+	// the sniffed prefix.
+	dec := gob.NewDecoder(io.MultiReader(bytes.NewReader(pre), r))
 	v, err := nn.ReadHeader(dec, CheckpointMagic, CheckpointVersion)
 	if err != nil {
-		return nil, fmt.Errorf("mtmlf: not an MTMLF checkpoint: %w", err)
+		return nil, nil, &ckptio.CorruptError{Artifact: "checkpoint", Reason: fmt.Sprintf("not an MTMLF checkpoint: %v", err)}
+	}
+	if v != 1 {
+		return nil, nil, ckptio.Corruptf("checkpoint", "version %d inside a v1 gob header (v2+ files use the framed layout)", v)
 	}
 	var meta checkpointMeta
 	if err := dec.Decode(&meta); err != nil {
-		return nil, fmt.Errorf("mtmlf: read checkpoint meta: %w", err)
+		return nil, nil, ckptio.Corruptf("checkpoint", "read v1 meta: %v", err)
 	}
+	return infoFrom(v, meta), dec, nil
+}
+
+func infoFrom(version int, meta checkpointMeta) *CheckpointInfo {
 	return &CheckpointInfo{
-		Version:    v,
+		Version:    version,
 		Config:     meta.Config,
 		DBName:     meta.DBName,
 		Tables:     meta.Tables,
 		TableRows:  meta.TableRows,
 		SharedOnly: meta.SharedOnly,
-	}, nil
+	}
+}
+
+// validateConfig rejects architecture configs no trainer could have
+// produced — the guard LoadModel needs before trusting a decoded
+// Config enough to allocate a model from it. A v1 checkpoint carries
+// no checksum, so every field here can be arbitrary bit rot: an
+// unvalidated Heads of zero divides by zero inside the attention
+// blocks, and an enormous Dim allocates unbounded memory before the
+// parameter count mismatch would have failed the load anyway.
+func validateConfig(c Config) error {
+	bounds := []struct {
+		name   string
+		v, max int
+	}{
+		{"Dim", c.Dim, 4096},
+		{"Heads", c.Heads, 64},
+		{"Blocks", c.Blocks, 64},
+		{"DecBlocks", c.DecBlocks, 64},
+		{"MaxTables", c.MaxTables, 4096},
+		{"MaxDepth", c.MaxDepth, 1024},
+		{"Feat.Dim", c.Feat.Dim, 4096},
+		{"Feat.Heads", c.Feat.Heads, 64},
+		{"Feat.Blocks", c.Feat.Blocks, 64},
+		{"Feat.MaxCols", c.Feat.MaxCols, 1 << 16},
+		{"Feat.CharDims", c.Feat.CharDims, 1 << 16},
+	}
+	for _, b := range bounds {
+		if b.v < 1 || b.v > b.max {
+			return fmt.Errorf("mtmlf: checkpoint config %s = %d outside [1, %d] (damaged checkpoint?)", b.name, b.v, b.max)
+		}
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("mtmlf: checkpoint config Heads %d does not divide Dim %d", c.Heads, c.Dim)
+	}
+	if c.Feat.Dim%c.Feat.Heads != 0 {
+		return fmt.Errorf("mtmlf: checkpoint config Feat.Heads %d does not divide Feat.Dim %d", c.Feat.Heads, c.Feat.Dim)
+	}
+	return nil
 }
 
 // sameDatabase verifies the destination database is the instance the

@@ -1,0 +1,212 @@
+package mtmlf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"testing"
+
+	"mtmlf/internal/ckptio"
+	"mtmlf/internal/nn"
+)
+
+func loadFileInto(path string, m *Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = Load(f, m)
+	return err
+}
+
+// writeV1Checkpoint produces the historical v1 layout — one gob
+// stream: header, meta, params — which the v2 loader must keep
+// reading.
+func writeV1Checkpoint(t testing.TB, m *Model, sharedOnly bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := nn.WriteHeader(enc, CheckpointMagic, 1); err != nil {
+		t.Fatal(err)
+	}
+	db := m.Feat.DB
+	meta := checkpointMeta{
+		Config:     m.Shared.Cfg,
+		DBName:     db.Name,
+		Tables:     db.TableNames(),
+		TableRows:  tableRows(db),
+		SharedOnly: sharedOnly,
+	}
+	if err := enc.Encode(meta); err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params()
+	if sharedOnly {
+		params = m.Shared.Params()
+	}
+	if err := nn.EncodeParams(enc, params); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointV1StillLoads: artifacts written before the format
+// gained checksums keep loading, bitwise, through both entry points.
+func TestCheckpointV1StillLoads(t *testing.T) {
+	m, _ := tinySetup(t, 71, 2)
+	v1 := writeV1Checkpoint(t, m, false)
+
+	restored := NewModel(m.Shared.Cfg, m.Feat.DB, 999)
+	info, err := Load(bytes.NewReader(v1), restored)
+	if err != nil {
+		t.Fatalf("v1 full checkpoint: %v", err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("info.Version = %d, want 1", info.Version)
+	}
+	pa, pb := m.Params(), restored.Params()
+	for i := range pa {
+		for j := range pa[i].T.Data {
+			if pa[i].T.Data[j] != pb[i].T.Data[j] {
+				t.Fatalf("param %d differs after v1 load", i)
+			}
+		}
+	}
+	if _, info, err = LoadModel(bytes.NewReader(v1), m.Feat.DB); err != nil || info.Version != 1 {
+		t.Fatalf("LoadModel on v1: info=%+v err=%v", info, err)
+	}
+
+	sharedV1 := writeV1Checkpoint(t, m, true)
+	if info, err = Load(bytes.NewReader(sharedV1), NewModel(m.Shared.Cfg, m.Feat.DB, 5)); err != nil || !info.SharedOnly {
+		t.Fatalf("v1 shared-only checkpoint: info=%+v err=%v", info, err)
+	}
+}
+
+// loadAny tries both checkpoint entry points against a reusable
+// destination model (corrupt inputs fail before any weight is copied,
+// so reuse across attempts is safe); the corruption tests require
+// each to fail typed.
+func loadAny(m, dst *Model, data []byte) []error {
+	_, errLoad := Load(bytes.NewReader(data), dst)
+	_, _, errLoadModel := LoadModel(bytes.NewReader(data), m.Feat.DB)
+	return []error{errLoad, errLoadModel}
+}
+
+// TestCheckpointDetectsBitFlips: single-bit flips anywhere in a v2
+// checkpoint — preamble, frame headers, gob payloads, checksums —
+// must fail both loaders with *ckptio.CorruptError, never load, never
+// panic. The full cross-product is fuzz territory (FuzzLoadModel);
+// the table here sweeps every bit of the structural prefix plus a
+// stride across the parameter payload.
+func TestCheckpointDetectsBitFlips(t *testing.T) {
+	m, _ := tinySetup(t, 72, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	dst := NewModel(m.Shared.Cfg, m.Feat.DB, 3)
+	check := func(i, bit int) {
+		mut := bytes.Clone(orig)
+		mut[i] ^= 1 << bit
+		for _, err := range loadAny(m, dst, mut) {
+			var ce *ckptio.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip byte %d bit %d: got %v, want *ckptio.CorruptError", i, bit, err)
+			}
+		}
+	}
+	// Every bit of the structural prefix (preamble + first frame header
+	// + start of the meta payload)...
+	for i := 0; i < 64 && i < len(orig); i++ {
+		for bit := 0; bit < 8; bit++ {
+			check(i, bit)
+		}
+	}
+	// ...then ~48 evenly spaced positions across the rest, rotating the
+	// flipped bit. Each attempt clones and checksums the whole artifact,
+	// so density here is wall-clock; the full cross-product lives in
+	// FuzzLoadModel.
+	stride := (len(orig) - 64) / 48
+	if stride < 1 {
+		stride = 1
+	}
+	for k, i := 0, 64; i < len(orig); k, i = k+1, i+stride {
+		check(i, k%8)
+	}
+}
+
+// TestCheckpointDetectsTruncation: every truncated prefix of a v2
+// checkpoint fails typed — the torn-write shape a crash mid-save (or
+// a FailingWriter, below) produces.
+func TestCheckpointDetectsTruncation(t *testing.T) {
+	m, _ := tinySetup(t, 73, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	dst := NewModel(m.Shared.Cfg, m.Feat.DB, 3)
+	stride := (len(orig) - 64) / 48
+	if stride < 1 {
+		stride = 1
+	}
+	for n := 0; n < len(orig); n++ {
+		if n >= 64 && (n-64)%stride != 0 {
+			continue
+		}
+		for _, err := range loadAny(m, dst, orig[:n]) {
+			var ce *ckptio.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("truncate to %d bytes: got %v, want *ckptio.CorruptError", n, err)
+			}
+		}
+	}
+}
+
+// TestCheckpointSaveThroughFailingWriter: an injected write failure
+// (full disk, killed process) surfaces from Save, and whatever prefix
+// landed is rejected as corrupt — the unit-level version of the
+// SIGKILL drill in scripts/crash_resume_smoke.sh.
+func TestCheckpointSaveThroughFailingWriter(t *testing.T) {
+	m, _ := tinySetup(t, 74, 1)
+	var full bytes.Buffer
+	if err := Save(&full, m); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewModel(m.Shared.Cfg, m.Feat.DB, 3)
+	for _, cut := range []int64{0, 5, 11, 12, 40, int64(full.Len()) - 1} {
+		var torn bytes.Buffer
+		if err := Save(&ckptio.FailingWriter{W: &torn, FailAfter: cut}, m); !errors.Is(err, ckptio.ErrInjected) {
+			t.Fatalf("cut %d: Save returned %v, want injected failure", cut, err)
+		}
+		for _, err := range loadAny(m, dst, torn.Bytes()) {
+			var ce *ckptio.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("cut %d: got %v, want *ckptio.CorruptError", cut, err)
+			}
+		}
+	}
+}
+
+// TestSaveFileAtomic: SaveFile replaces the destination atomically
+// and never leaves a torn file behind a failed producer.
+func TestSaveFileAtomic(t *testing.T) {
+	m, _ := tinySetup(t, 75, 1)
+	path := t.TempDir() + "/model.ckpt"
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewModel(m.Shared.Cfg, m.Feat.DB, 42)
+	if err := loadFileInto(path, restored); err != nil {
+		t.Fatalf("load after SaveFile: %v", err)
+	}
+	if err := SaveSharedFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadFileInto(path, restored); err != nil {
+		t.Fatalf("load after SaveSharedFile: %v", err)
+	}
+}

@@ -1,0 +1,284 @@
+package mtmlf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/ckptio"
+	"mtmlf/internal/nn"
+)
+
+// ---------------------------------------------------------------------------
+// Training-state snapshots: crash-safe resumable training
+// ---------------------------------------------------------------------------
+//
+// A snapshot is the complete mutable state of a training loop at a
+// minibatch boundary: the trained parameters, the Adam optimizer's
+// moment accumulators and step count, the shuffle position (epoch +
+// examples into the epoch — the rng is reconstructed by replaying
+// rand.Perm, the only draw the iterator makes), and the running
+// TrainStats. Because the epoch iterator's trajectory depends only on
+// (seed, batch size, example set) and never on worker count or
+// wall-clock, restoring a snapshot and finishing the run produces a
+// final model byte-for-byte identical to the uninterrupted run — the
+// property the interruption-invariance tests and the kill-9 drill in
+// scripts/crash_resume_smoke.sh assert.
+
+const (
+	// SnapshotMagic opens every training-state snapshot file.
+	SnapshotMagic = "MTMLF-SNAP"
+	// SnapshotVersion is the snapshot format version.
+	SnapshotVersion = 1
+	// snapPreambleSize is the raw preamble: magic + big-endian version.
+	snapPreambleSize = len(SnapshotMagic) + 2
+)
+
+// ErrInterrupted is returned by a training loop stopped through
+// SnapshotOptions.Interrupt (or the InterruptAfter test hook) after it
+// has persisted a resumable snapshot. It is a clean stop, not a
+// failure: rerun with Resume to finish the run.
+var ErrInterrupted = errors.New("mtmlf: training interrupted (resumable snapshot written)")
+
+// SnapshotOptions makes a training loop durable: periodic
+// training-state snapshots, cooperative interruption, and resume.
+// The zero value disables all of it.
+type SnapshotOptions struct {
+	// Path is the snapshot file, written atomically (temp file + fsync
+	// + rename) at every snapshot point. Empty disables persistence.
+	Path string
+	// Every writes a snapshot after every N optimizer steps
+	// (minibatches). 0 snapshots only on interruption.
+	Every int
+	// Resume restores training state from Path before the first step.
+	// A missing file is a fresh start, so a supervisor can always pass
+	// Resume and rerun until the loop returns nil.
+	Resume bool
+	// Interrupt, when closed, stops the loop at the next minibatch
+	// boundary: a final snapshot is written to Path and the loop
+	// returns ErrInterrupted.
+	Interrupt <-chan struct{}
+	// InterruptAfter stops the loop after N minibatches of THIS run
+	// (not counting resumed progress) exactly like Interrupt — the
+	// deterministic fault-injection hook the invariance tests drive.
+	// 0 disables.
+	InterruptAfter int
+}
+
+// enabled reports whether the options change the training loop at all.
+func (o SnapshotOptions) enabled() bool {
+	return o.Path != "" || o.Interrupt != nil || o.InterruptAfter > 0
+}
+
+// snapshotMeta identifies the run a snapshot belongs to and records
+// its progress. Every identity field must match the resuming run's:
+// resuming under different data, seed, batch size, or loss
+// configuration would silently produce a trajectory that matches
+// neither run.
+type snapshotMeta struct {
+	// Kind names the training loop ("joint", "mla").
+	Kind string
+	// Config echoes the loop's trajectory-relevant configuration.
+	Config string
+	// N, Epochs, BatchSize, Seed are the epoch iterator's shape.
+	N         int
+	Epochs    int
+	BatchSize int
+	Seed      int64
+	// Epoch and Offset are the resume point: Offset examples of epoch
+	// Epoch are complete (Offset is a minibatch boundary; a finished
+	// epoch normalizes to {Epoch + 1, 0}).
+	Epoch  int
+	Offset int
+	// Stats is the running TrainStats at the boundary.
+	Stats TrainStats
+}
+
+// matchMeta verifies that a snapshot belongs to the requested run.
+func matchMeta(want, got snapshotMeta) error {
+	if got.Kind != want.Kind || got.Config != want.Config ||
+		got.N != want.N || got.Epochs != want.Epochs ||
+		got.BatchSize != want.BatchSize || got.Seed != want.Seed {
+		return fmt.Errorf("mtmlf: snapshot does not match this run: snapshot {kind %s config %q n %d epochs %d batch %d seed %d}, run {kind %s config %q n %d epochs %d batch %d seed %d}",
+			got.Kind, got.Config, got.N, got.Epochs, got.BatchSize, got.Seed,
+			want.Kind, want.Config, want.N, want.Epochs, want.BatchSize, want.Seed)
+	}
+	if got.Epoch < 0 || got.Offset < 0 || got.Offset >= max(got.N, 1) ||
+		(want.BatchSize > 0 && got.Offset%want.BatchSize != 0) {
+		return &ckptio.CorruptError{Artifact: "snapshot",
+			Reason: fmt.Sprintf("progress {epoch %d, offset %d} is not a minibatch boundary of n=%d bs=%d",
+				got.Epoch, got.Offset, got.N, got.BatchSize)}
+	}
+	return nil
+}
+
+// writeSnapshot persists the full training state atomically. Sections
+// (meta, optimizer state, parameters) are framed with CRC32C
+// checksums, so a torn or rotted snapshot fails to load with a typed
+// *ckptio.CorruptError instead of resuming from garbage.
+func writeSnapshot(path string, meta snapshotMeta, opt *nn.Adam, params []*ag.Value) error {
+	return ckptio.WriteFileAtomic(path, func(w io.Writer) error {
+		var pre [snapPreambleSize]byte
+		copy(pre[:], SnapshotMagic)
+		binary.BigEndian.PutUint16(pre[len(SnapshotMagic):], SnapshotVersion)
+		if _, err := w.Write(pre[:]); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(meta); err != nil {
+			return fmt.Errorf("mtmlf: encode snapshot meta: %w", err)
+		}
+		if err := ckptio.WriteSection(w, buf.Bytes()); err != nil {
+			return err
+		}
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(opt.State()); err != nil {
+			return fmt.Errorf("mtmlf: encode optimizer state: %w", err)
+		}
+		if err := ckptio.WriteSection(w, buf.Bytes()); err != nil {
+			return err
+		}
+		buf.Reset()
+		if err := nn.EncodeParams(gob.NewEncoder(&buf), params); err != nil {
+			return fmt.Errorf("mtmlf: encode snapshot parameters: %w", err)
+		}
+		return ckptio.WriteSection(w, buf.Bytes())
+	})
+}
+
+// snapshotFile is a parsed-but-not-applied snapshot: the meta is
+// decoded (so the caller can reject a mismatched snapshot before any
+// state is touched), the optimizer and parameter payloads are held
+// as verified bytes until restore.
+type snapshotFile struct {
+	Meta          snapshotMeta
+	adamPayload   []byte
+	paramsPayload []byte
+}
+
+// readSnapshotFile opens and integrity-checks a snapshot. A missing
+// file returns an error satisfying errors.Is(err, os.ErrNotExist); a
+// damaged one a *ckptio.CorruptError.
+func readSnapshotFile(path string) (*snapshotFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pre [snapPreambleSize]byte
+	if _, err := io.ReadFull(f, pre[:]); err != nil {
+		return nil, ckptio.Corruptf("snapshot", "truncated preamble: %v", err)
+	}
+	if string(pre[:len(SnapshotMagic)]) != SnapshotMagic {
+		return nil, ckptio.Corruptf("snapshot", "bad magic %q, want %q", pre[:len(SnapshotMagic)], SnapshotMagic)
+	}
+	if v := binary.BigEndian.Uint16(pre[len(SnapshotMagic):]); v != SnapshotVersion {
+		return nil, ckptio.Corruptf("snapshot", "unsupported version %d (supported %d; damaged version field or future file)", v, SnapshotVersion)
+	}
+	metaPayload, err := ckptio.ReadSection(f, "snapshot")
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := gob.NewDecoder(bytes.NewReader(metaPayload)).Decode(&meta); err != nil {
+		return nil, ckptio.Corruptf("snapshot", "decode meta: %v", err)
+	}
+	adamPayload, err := ckptio.ReadSection(f, "snapshot")
+	if err != nil {
+		return nil, err
+	}
+	paramsPayload, err := ckptio.ReadSection(f, "snapshot")
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotFile{Meta: meta, adamPayload: adamPayload, paramsPayload: paramsPayload}, nil
+}
+
+// restore applies the snapshot's parameters and optimizer state.
+func (s *snapshotFile) restore(opt *nn.Adam, params []*ag.Value) error {
+	if err := nn.DecodeParams(gob.NewDecoder(bytes.NewReader(s.paramsPayload)), params); err != nil {
+		return ckptio.Corruptf("snapshot", "restore parameters: %v", err)
+	}
+	var st nn.AdamState
+	if err := gob.NewDecoder(bytes.NewReader(s.adamPayload)).Decode(&st); err != nil {
+		return ckptio.Corruptf("snapshot", "decode optimizer state: %v", err)
+	}
+	if err := opt.SetState(st); err != nil {
+		return ckptio.Corruptf("snapshot", "restore optimizer state: %v", err)
+	}
+	return nil
+}
+
+// epochCtl is the durability controller the epoch iterator drives:
+// where to resume, when to snapshot, when to stop.
+type epochCtl struct {
+	// startEpoch/startOffset is the resume point (examples into the
+	// epoch, a minibatch boundary).
+	startEpoch  int
+	startOffset int
+	// every snapshots after every N minibatches (0 = interrupt-only).
+	every int
+	// snap persists the state at progress {epoch, offset}; nil skips
+	// persistence (interruption still stops the loop).
+	snap func(epoch, offset int) error
+	// interrupt + interruptAfter mirror SnapshotOptions.
+	interrupt      <-chan struct{}
+	interruptAfter int
+}
+
+// stopRequested reports whether the loop should stop at this
+// minibatch boundary. batches counts THIS run's minibatches.
+func (c *epochCtl) stopRequested(batches int) bool {
+	if c.interruptAfter > 0 && batches >= c.interruptAfter {
+		return true
+	}
+	select {
+	case <-c.interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// prepareSnapshots wires SnapshotOptions into an epoch controller for
+// a run described by meta (progress fields ignored on input). When
+// resuming, it restores params, opt, and *st from the snapshot at
+// snap.Path and positions the controller mid-run; a missing file is a
+// fresh start. Returns nil when the options are disabled.
+func prepareSnapshots(snap SnapshotOptions, meta snapshotMeta, opt *nn.Adam, params []*ag.Value, st *TrainStats) (*epochCtl, error) {
+	if !snap.enabled() {
+		return nil, nil
+	}
+	ctl := &epochCtl{every: snap.Every, interrupt: snap.Interrupt, interruptAfter: snap.InterruptAfter}
+	if snap.Path != "" {
+		ctl.snap = func(epoch, offset int) error {
+			m := meta
+			m.Epoch, m.Offset = epoch, offset
+			m.Stats = *st
+			return writeSnapshot(snap.Path, m, opt, params)
+		}
+	}
+	if snap.Resume && snap.Path != "" {
+		file, err := readSnapshotFile(snap.Path)
+		if errors.Is(err, os.ErrNotExist) {
+			return ctl, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := matchMeta(meta, file.Meta); err != nil {
+			return nil, err
+		}
+		if err := file.restore(opt, params); err != nil {
+			return nil, err
+		}
+		*st = file.Meta.Stats
+		ctl.startEpoch, ctl.startOffset = file.Meta.Epoch, file.Meta.Offset
+	}
+	return ctl, nil
+}

@@ -32,12 +32,43 @@ func runEpochs(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
 	prefetch func(batch []int) error,
 	build func(slot, example int) *ag.Value,
 	after func(loss float64)) error {
+	return runEpochsCtl(opt, n, epochs, bs, nWorkers, seed, prefetch, build, after, nil)
+}
+
+// runEpochsCtl is runEpochs with a durability controller: ctl (may be
+// nil) positions the loop mid-run on resume, snapshots the training
+// state at minibatch boundaries, and stops cooperatively on
+// interruption (returning ErrInterrupted after a final snapshot).
+//
+// Resume replays the shuffle deterministically: the rng's only draws
+// are one Perm per epoch, so skipping ctl.startEpoch epochs re-derives
+// the exact stream position, and starting the current epoch at
+// ctl.startOffset (a minibatch boundary) re-enters mid-epoch with the
+// same minibatch cuts the uninterrupted run makes. Combined with
+// restored parameters and optimizer state, the remainder of the run —
+// and therefore the final model — is bitwise identical to never having
+// stopped, at any worker count.
+func runEpochsCtl(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
+	prefetch func(batch []int) error,
+	build func(slot, example int) *ag.Value,
+	after func(loss float64),
+	ctl *epochCtl) error {
 	rng := rand.New(rand.NewSource(seed))
 	slots := make([]ag.Grads, bs)
 	losses := make([]float64, bs)
+	batches := 0
 	for ep := 0; ep < epochs; ep++ {
 		order := rng.Perm(n)
-		for start := 0; start < len(order); start += bs {
+		first := 0
+		if ctl != nil {
+			if ep < ctl.startEpoch {
+				continue // consumed only to advance the rng stream
+			}
+			if ep == ctl.startEpoch {
+				first = ctl.startOffset
+			}
+		}
+		for start := first; start < len(order); start += bs {
 			end := start + bs
 			if end > len(order) {
 				end = len(order)
@@ -55,6 +86,26 @@ func runEpochs(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
 				for i := range batch {
 					after(losses[i])
 				}
+			}
+			if ctl == nil {
+				continue
+			}
+			batches++
+			// Normalize a finished epoch to {ep+1, 0} so the resume
+			// point is unambiguous.
+			epNext, offNext := ep, end
+			if end >= len(order) {
+				epNext, offNext = ep+1, 0
+			}
+			done := epNext >= epochs && offNext == 0
+			stop := !done && ctl.stopRequested(batches)
+			if ctl.snap != nil && !done && (stop || (ctl.every > 0 && batches%ctl.every == 0)) {
+				if err := ctl.snap(epNext, offNext); err != nil {
+					return err
+				}
+			}
+			if stop {
+				return ErrInterrupted
 			}
 		}
 	}
@@ -105,6 +156,9 @@ type TrainOptions struct {
 	// for comparing training runs across source backends and worker
 	// counts.
 	RecordTrajectory bool
+	// Snapshot makes the run durable: periodic crash-safe
+	// training-state snapshots, cooperative interruption, and resume.
+	Snapshot SnapshotOptions
 }
 
 func (o TrainOptions) batchSize() int {
@@ -121,11 +175,15 @@ func (o TrainOptions) workers() int {
 	return o.Workers
 }
 
-// TrainStats summarizes a training run.
+// TrainStats summarizes a training run. It is fully live state (no
+// seal step), so a training snapshot can persist it mid-run and a
+// resumed run continues the exact statistics stream.
 type TrainStats struct {
 	// Steps counts training examples processed (not optimizer steps:
 	// with BatchSize b, one Adam update covers b examples).
-	Steps     int
+	Steps int
+	// FinalLoss is the 0.95/0.05 EMA of the per-example loss, updated
+	// live as examples are processed.
 	FinalLoss float64
 	// Trajectory holds every example's loss in processing order when
 	// TrainOptions.RecordTrajectory is set (nil otherwise).
@@ -134,21 +192,17 @@ type TrainStats struct {
 
 // recordInto returns the per-example stats hook every streaming
 // trainer passes to runEpochs — the 0.95/0.05 EMA running loss, the
-// step count, and the optional bitwise trajectory — plus a finish
-// function that seals FinalLoss. One definition, so the eps=0
-// cross-path equivalence probes always compare identically computed
-// stats.
-func recordInto(st *TrainStats, trajectory bool) (after func(float64), finish func()) {
-	var running float64
-	after = func(loss float64) {
-		running = 0.95*running + 0.05*loss
+// step count, and the optional bitwise trajectory. One definition, so
+// the eps=0 cross-path equivalence probes always compare identically
+// computed stats.
+func recordInto(st *TrainStats, trajectory bool) func(float64) {
+	return func(loss float64) {
+		st.FinalLoss = 0.95*st.FinalLoss + 0.05*loss
 		st.Steps++
 		if trajectory {
 			st.Trajectory = append(st.Trajectory, loss)
 		}
 	}
-	finish = func() { st.FinalLoss = running }
-	return after, finish
 }
 
 // batchBackward computes per-example losses and gradients for one
@@ -266,15 +320,23 @@ func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainS
 		lr = opts.LR
 	}
 	bs := opts.batchSize()
-	opt := nn.NewAdam(m.Shared.Params(), lr)
+	params := m.Shared.Params()
+	opt := nn.NewAdam(params, lr)
 	var st TrainStats
-	after, finish := recordInto(&st, opts.RecordTrajectory)
+	after := recordInto(&st, opts.RecordTrajectory)
+	ctl, err := prepareSnapshots(opts.Snapshot, snapshotMeta{
+		Kind:   "joint",
+		Config: fmt.Sprintf("seqlevel=%v lr=%v trajectory=%v", opts.SeqLevelLoss, lr, opts.RecordTrajectory),
+		N:      src.Len(), Epochs: opts.Epochs, BatchSize: bs, Seed: opts.Seed,
+	}, opt, params, &st)
+	if err != nil {
+		return st, err
+	}
 	cur := make([]*workload.LabeledQuery, bs)
-	err := runEpochs(opt, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
+	err = runEpochsCtl(opt, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
 		func(batch []int) error { return fetchInto(src, batch, cur) },
 		func(slot, _ int) *ag.Value { return m.jointLoss(cur[slot], opts.SeqLevelLoss) },
-		after)
-	finish()
+		after, ctl)
 	return st, err
 }
 
@@ -319,6 +381,11 @@ type MLAOptions struct {
 	// semantics as TrainOptions.RecordTrajectory — the eps=0 probe for
 	// comparing the in-memory and corpus-backed MLA paths.
 	RecordTrajectory bool
+	// Snapshot makes the joint loop (Algorithm 1 lines 7–8) durable,
+	// with the same semantics as TrainOptions.Snapshot. Per-DB
+	// preparation (encoder pre-training) is deterministic from the
+	// seeds and re-runs on resume.
+	Snapshot SnapshotOptions
 }
 
 // taskSeed derives database i's task seed from the MLA master seed —
@@ -458,7 +525,8 @@ func mlaLoss(t *DBTask, lq *workload.LabeledQuery) *ag.Value {
 func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts MLAOptions) (TrainStats, error) {
 	pool := workload.Concat(srcs...)
 	topts := TrainOptions{BatchSize: opts.BatchSize, Workers: opts.Workers}
-	opt := nn.NewAdam(shared.Params(), shared.Cfg.LR)
+	params := shared.Params()
+	opt := nn.NewAdam(params, shared.Cfg.LR)
 	bs := topts.batchSize()
 	type sample struct {
 		task *DBTask
@@ -466,8 +534,16 @@ func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts
 	}
 	cur := make([]sample, bs)
 	var st TrainStats
-	after, finish := recordInto(&st, opts.RecordTrajectory)
-	err := runEpochs(opt, pool.Len(), opts.JointEpochs, bs, topts.workers(), opts.Seed,
+	after := recordInto(&st, opts.RecordTrajectory)
+	ctl, err := prepareSnapshots(opts.Snapshot, snapshotMeta{
+		Kind:   "mla",
+		Config: fmt.Sprintf("lr=%v trajectory=%v", shared.Cfg.LR, opts.RecordTrajectory),
+		N:      pool.Len(), Epochs: opts.JointEpochs, BatchSize: bs, Seed: opts.Seed,
+	}, opt, params, &st)
+	if err != nil {
+		return st, err
+	}
+	err = runEpochsCtl(opt, pool.Len(), opts.JointEpochs, bs, topts.workers(), opts.Seed,
 		func(batch []int) error {
 			return parallel.ForErr(len(batch), 1, func(j int) error {
 				d, local, err := pool.Locate(batch[j])
@@ -480,8 +556,7 @@ func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts
 			})
 		},
 		func(slot, _ int) *ag.Value { return mlaLoss(cur[slot].task, cur[slot].lq) },
-		after)
-	finish()
+		after, ctl)
 	return st, err
 }
 

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"mtmlf/internal/ag"
@@ -100,6 +101,50 @@ func (a *Adam) StepAveraged(slots []ag.Grads, scale float64) {
 	a.ZeroGrad()
 	ag.ReduceGrads(a.params, slots, scale)
 	a.Step()
+}
+
+// AdamState is the optimizer's complete mutable state — the step
+// count and both moment accumulators — in parameter order. Training
+// snapshots persist it alongside the parameters: resuming Adam
+// without m/v/t restarts the bias correction and moment history, so
+// the post-resume trajectory would diverge from the uninterrupted run
+// on the very first step.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State deep-copies the optimizer state (the snapshot must not alias
+// tensors the next Step mutates).
+func (a *Adam) State() AdamState {
+	s := AdamState{T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		s.M[i] = append([]float64(nil), a.m[i].Data...)
+		s.V[i] = append([]float64(nil), a.v[i].Data...)
+	}
+	return s
+}
+
+// SetState restores a snapshot taken by State into an optimizer built
+// over the same parameter list, validating every moment buffer's size
+// against its parameter first.
+func (a *Adam) SetState(s AdamState) error {
+	if len(s.M) != len(a.params) || len(s.V) != len(a.params) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment buffers, optimizer has %d parameters",
+			len(s.M), len(s.V), len(a.params))
+	}
+	for i, p := range a.params {
+		if len(s.M[i]) != p.T.Size() || len(s.V[i]) != p.T.Size() {
+			return fmt.Errorf("nn: Adam state buffer %d has %d/%d elements, parameter has %d",
+				i, len(s.M[i]), len(s.V[i]), p.T.Size())
+		}
+	}
+	a.t = s.T
+	for i := range a.params {
+		copy(a.m[i].Data, s.M[i])
+		copy(a.v[i].Data, s.V[i])
+	}
+	return nil
 }
 
 // SGD is a plain stochastic-gradient-descent optimizer, used by tests

@@ -28,7 +28,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -95,6 +97,11 @@ type HandlerConfig struct {
 	// the handler swaps into the engine via Engine.Reload. Calls are
 	// serialized by the handler. When nil, /reloadz returns 404.
 	Reload func() (*mtmlf.Model, error)
+	// Ready, when non-nil, gates readiness: /healthz answers 503 while
+	// it returns false (during drain, say), steering load balancers
+	// away without touching liveness — GET /livez stays 200 as long as
+	// the process can answer at all. Nil means always ready.
+	Ready func() bool
 }
 
 // NewHandler mounts the serving endpoints over e with an example
@@ -104,9 +111,12 @@ func NewHandler(e *Engine, gen *workload.Generator) http.Handler {
 	return NewHandlerConfig(e, HandlerConfig{Gen: gen})
 }
 
-// NewHandlerConfig mounts the serving endpoints over e.
+// NewHandlerConfig mounts the serving endpoints over e, wrapped in a
+// recover middleware: a panicking handler answers 500 (and bumps the
+// /statsz `panics` counter) instead of killing the connection — one
+// poisoned request must never take the server down.
 func NewHandlerConfig(e *Engine, cfg HandlerConfig) http.Handler {
-	h := &handler{engine: e, gen: cfg.Gen, reload: cfg.Reload}
+	h := &handler{engine: e, gen: cfg.Gen, reload: cfg.Reload, ready: cfg.Ready}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate/card", func(w http.ResponseWriter, r *http.Request) {
 		h.estimate(w, r, EndpointCard)
@@ -117,15 +127,56 @@ func NewHandlerConfig(e *Engine, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /joinorder", h.joinOrder)
 	mux.HandleFunc("POST /reloadz", h.reloadz)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /livez", livez)
 	mux.HandleFunc("GET /statsz", h.statsz)
 	mux.HandleFunc("GET /example", h.example)
-	return mux
+	return Recover(e, mux)
+}
+
+// Recover wraps next so a panic anywhere below answers 500 (when no
+// bytes have gone out yet), logs the stack, and counts into e's
+// /statsz `panics` field. Exported for front ends that mount their
+// own mux around the serving handlers.
+func Recover(e *Engine, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackedWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				e.stats.recordPanic()
+				log.Printf("serve: panic in %s %s (answered 500): %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !tw.wrote {
+					writeJSON(tw, http.StatusInternalServerError,
+						errorJSON{Error: fmt.Sprintf("internal error: %v", v)})
+				}
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackedWriter remembers whether a response has started, so the
+// recover middleware only writes a 500 when the panic struck before
+// any bytes went out (headers can't be unsent).
+type trackedWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackedWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackedWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
 }
 
 type handler struct {
 	engine *Engine
 	genMu  sync.Mutex
 	gen    *workload.Generator
+	ready  func() bool
 
 	reloadMu sync.Mutex
 	reload   func() (*mtmlf.Model, error)
@@ -266,15 +317,31 @@ func (h *handler) reloadz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// healthz is READINESS: 503 while the Ready hook says the process
+// should not receive traffic (draining, still booting behind a
+// placeholder handler). Liveness is /livez.
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	db := h.engine.DB()
-	writeJSON(w, http.StatusOK, HealthJSON{
-		Status:   "ok",
+	status, code := "ok", http.StatusOK
+	if h.ready != nil && !h.ready() {
+		status, code = "unavailable", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthJSON{
+		Status:   status,
 		Database: db.Name,
 		Tables:   len(db.Tables),
 		Sessions: h.engine.opts.Sessions,
 		Reloads:  h.engine.Stats().Reloads,
 	})
+}
+
+// livez is LIVENESS: 200 whenever the process can answer HTTP at all.
+// A supervisor restarts on failing /livez and merely unroutes on
+// failing /healthz.
+func livez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"alive"})
 }
 
 func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {

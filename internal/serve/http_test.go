@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/workload"
 )
 
@@ -173,6 +175,98 @@ func TestHTTPHealthStatsExample(t *testing.T) {
 			t.Fatalf("example request rejected by %s: status %d", ep, resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestHTTPRecoverPanic: a panicking handler answers 500 with an error
+// body, bumps the /statsz panics counter, and leaves the server fully
+// functional — one poisoned request never takes the process down.
+func TestHTTPRecoverPanic(t *testing.T) {
+	m, _ := testModel(t)
+	e, err := NewEngine(m, Options{Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	srv := httptest.NewServer(NewHandlerConfig(e, HandlerConfig{
+		Reload: func() (*mtmlf.Model, error) { panic("injected reload panic") },
+	}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/reloadz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	body := decodeBody[errorJSON](t, resp)
+	if !strings.Contains(body.Error, "injected reload panic") {
+		t.Fatalf("error body %q lacks panic value", body.Error)
+	}
+
+	r, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decodeBody[StatsSnapshot](t, r)
+	if snap.Panics != 1 {
+		t.Fatalf("statsz panics = %d, want 1", snap.Panics)
+	}
+
+	// The server survived: health still answers.
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: status %d", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+// TestHTTPReadinessSplit: with a Ready hook, /healthz flips between
+// 200 and 503 while /livez stays 200 — the drain/boot contract load
+// balancers key off.
+func TestHTTPReadinessSplit(t *testing.T) {
+	m, _ := testModel(t)
+	e, err := NewEngine(m, Options{Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var ready atomic.Bool
+	srv := httptest.NewServer(NewHandlerConfig(e, HandlerConfig{Ready: ready.Load}))
+	defer srv.Close()
+
+	get := func(path string) (int, HealthJSON) {
+		t.Helper()
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode, decodeBody[HealthJSON](t, r)
+	}
+
+	code, h := get("/healthz")
+	if code != http.StatusServiceUnavailable || h.Status != "unavailable" {
+		t.Fatalf("not-ready healthz: status %d body %+v", code, h)
+	}
+	if code, h = get("/livez"); code != http.StatusOK || h.Status != "alive" {
+		t.Fatalf("livez while not ready: status %d body %+v", code, h)
+	}
+
+	ready.Store(true)
+	if code, h = get("/healthz"); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("ready healthz: status %d body %+v", code, h)
+	}
+
+	ready.Store(false) // drain begins
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", code)
+	}
+	if code, _ = get("/livez"); code != http.StatusOK {
+		t.Fatalf("livez while draining: status %d, want 200", code)
 	}
 }
 

@@ -38,6 +38,9 @@ type stats struct {
 	deadlineMisses uint64
 	// reloads counts successful hot checkpoint swaps.
 	reloads uint64
+	// panics counts handler panics recovered by the HTTP middleware
+	// (each returned a 500 instead of killing the server).
+	panics uint64
 
 	lat  [numEndpoints][]time.Duration // rings
 	latN [numEndpoints]int             // total inserted per ring
@@ -86,6 +89,12 @@ func (s *stats) recordReload() {
 	s.mu.Unlock()
 }
 
+func (s *stats) recordPanic() {
+	s.mu.Lock()
+	s.panics++
+	s.mu.Unlock()
+}
+
 func (s *stats) recordBatch(size int) {
 	s.mu.Lock()
 	s.batches++
@@ -129,6 +138,10 @@ type StatsSnapshot struct {
 	DeadlineMisses uint64 `json:"deadline_misses"`
 	// Reloads counts successful hot checkpoint swaps since boot.
 	Reloads uint64 `json:"reloads"`
+	// Panics counts handler panics recovered by the HTTP middleware
+	// since boot. Each one was answered with a 500; a non-zero value
+	// means a bug worth a look, a growing one means trouble.
+	Panics uint64 `json:"panics"`
 	// QueueDepth is the instantaneous request-queue occupancy;
 	// MaxQueue its bound. Depth pinned at MaxQueue means overload.
 	QueueDepth int `json:"queue_depth"`
@@ -172,6 +185,7 @@ func (s *stats) snapshot(queueDepth, maxQueue int) StatsSnapshot {
 	snap.Shed = s.shed
 	snap.DeadlineMisses = s.deadlineMisses
 	snap.Reloads = s.reloads
+	snap.Panics = s.panics
 	snap.QueueDepth = queueDepth
 	snap.MaxQueue = maxQueue
 	if snap.UptimeSeconds > 0 {
