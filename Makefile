@@ -4,7 +4,12 @@
 GO ?= go
 RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus ./internal/loadgen
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint ci
+# Pinned linter versions: CI installs exactly these; bump them here
+# and in no other place.
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
+
+.PHONY: all build vet vet-custom staticcheck vulncheck lint fmt-check test race bench bench-smoke bench-infer bench-json serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint ci
 
 all: build
 
@@ -13,6 +18,33 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The contract gate: five custom analyzers (mapiter, globalrand,
+# atomicwrite, gobregister, poolrelease) enforcing the determinism,
+# durability, and session-ownership invariants — DESIGN.md §8. Fails
+# on any unjustified violation.
+vet-custom:
+	$(GO) run ./cmd/mtmlf-vet ./...
+
+# staticcheck/govulncheck run when installed (CI installs the pinned
+# versions above); locally a missing binary downgrades to a warning so
+# `make lint` works offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed — skipping (CI pins honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed — skipping (CI pins golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+# The full contributor gate in one command.
+lint: vet fmt-check docs-lint vet-custom staticcheck vulncheck
 
 # Fails if any file is not gofmt-clean.
 fmt-check:
@@ -100,4 +132,4 @@ docs-lint:
 			{ echo "docs-lint: $$d has no package comment"; bad=1; }; \
 	done; [ "$$bad" = 0 ]
 
-ci: build vet fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint
+ci: build vet vet-custom fmt-check test race bench-smoke bench-infer serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint

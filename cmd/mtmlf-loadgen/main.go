@@ -61,6 +61,7 @@ func main() {
 	retries := flag.Int("retries", 0, "per-request retry budget for shed (429) responses, honoring Retry-After with capped backoff + jitter (0 = record sheds immediately)")
 	reloadAfter := flag.Duration("reload-after", 0, "POST /reloadz this far into the first run (0 = never)")
 	jsonOut := flag.String("json", "", "write a benchjson report with load entries to this path")
+	appendOut := flag.Bool("append", false, "with -json: merge the new load entries into an existing report instead of overwriting (corrupt existing file is an error, not a clobber)")
 	label := flag.String("label", "mtmlf-loadgen", "report label")
 	minOK := flag.Uint64("min-ok", 0, "fail unless every driven endpoint has at least this many successes per level")
 	maxErrors := flag.Uint64("max-errors", ^uint64(0), "fail if total failed requests (not shed/deadline) exceed this")
@@ -159,10 +160,14 @@ func main() {
 		failed = true
 	}
 	if *jsonOut != "" {
-		if err := report.Write(*jsonOut); err != nil {
+		write := report.Write
+		if *appendOut {
+			write = report.AppendTo
+		}
+		if err := write(*jsonOut); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %s (%d load entries)", *jsonOut, len(report.Load))
+		log.Printf("wrote %s (%d new load entries)", *jsonOut, len(report.Load))
 	}
 	if failed {
 		os.Exit(1)

@@ -70,6 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -78,6 +79,7 @@ import (
 	"time"
 
 	"mtmlf/internal/catalog"
+	"mtmlf/internal/ckptio"
 	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/metrics"
@@ -424,21 +426,17 @@ func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batc
 // writeTrajectory writes one hex-formatted float64 per line. Hex
 // floats are exact, so two trajectory files are byte-identical iff
 // the trajectories are bitwise identical — `cmp` is the assertion.
-func writeTrajectory(path string, losses []float64) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+// Published atomically: the smoke drills cmp trajectory files from
+// killed runs, which must see the previous complete file or the new
+// one, never a torn prefix.
+func writeTrajectory(path string, losses []float64) error {
+	return ckptio.WriteFileAtomic(path, func(f io.Writer) error {
+		w := bufio.NewWriter(f)
+		for _, v := range losses {
+			if _, err := w.WriteString(strconv.FormatFloat(v, 'x', -1, 64) + "\n"); err != nil {
+				return err
+			}
 		}
-	}()
-	w := bufio.NewWriter(f)
-	for _, v := range losses {
-		if _, err := w.WriteString(strconv.FormatFloat(v, 'x', -1, 64) + "\n"); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
+		return w.Flush()
+	})
 }

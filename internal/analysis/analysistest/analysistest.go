@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// expectations embedded in the fixtures — the same convention as
+// golang.org/x/tools' analysistest, rebuilt on the repo's stdlib-only
+// analysis framework.
+//
+// A fixture line that should be flagged carries a comment of the form
+//
+//	m[k]++ // want `iteration over map`
+//	m[k]++ // want "first" "second"
+//
+// where each quoted string is a regexp that must match the message of
+// a diagnostic reported on that line. Lines without a want comment
+// must produce no diagnostics.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mtmlf/internal/analysis"
+)
+
+// expectation is one want regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and reports any mismatch between diagnostics and the
+// fixtures' want comments as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if pkg == nil {
+			t.Fatalf("%s: no Go files in %s", name, dir)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error in fixture: %v", name, terr)
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts every `// want` comment with its line.
+func parseWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: a sequence of Go-quoted or
+// backquoted strings.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+		}
+		pats = append(pats, pat)
+		s = s[end+2:]
+	}
+	return pats
+}

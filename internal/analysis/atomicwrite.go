@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AtomicWrite forbids direct os.WriteFile and os.Create outside
+// internal/ckptio. Artifacts (checkpoints, snapshots, corpora, BENCH
+// reports, trajectory files) must be published through
+// ckptio.WriteFileAtomic — temp file, fsync, rename, directory fsync
+// — so a crash or a concurrent reader can never observe a torn file.
+// A raw write that is genuinely not an artifact (none exist today)
+// would carry //mtmlf:allow:atomicwrite with its justification.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "forbid os.WriteFile/os.Create outside internal/ckptio (use ckptio.WriteFileAtomic)",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			for _, name := range []string{"WriteFile", "Create"} {
+				if isPkgFunc(obj, "os", name) {
+					pass.Reportf(call.Pos(), "os.%s bypasses the atomic-commit path; write artifacts via ckptio.WriteFileAtomic", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

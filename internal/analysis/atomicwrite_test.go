@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mtmlf/internal/analysis"
+	"mtmlf/internal/analysis/analysistest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicWrite, "atomicwrite")
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global entropy sources in
+// determinism-critical packages: package-level math/rand draws (which
+// share one unseedable-per-call-site global source) and time.Now()
+// (wall clock). Randomness on the training path must flow through an
+// injected *rand.Rand seeded from the run configuration, so the same
+// seed reproduces the same trajectory at any worker count;
+// constructing such a generator (rand.New, rand.NewSource,
+// rand.NewZipf) is allowed. Wall-clock reads belong to the serving
+// and measurement layers only.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid global math/rand draws and time.Now in determinism-critical packages (inject *rand.Rand instead)",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package functions that build an
+// injected generator rather than drawing from the global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[fn.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; inject a seeded *rand.Rand instead", fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now is wall-clock and breaks reproducibility here; take the time as a parameter or move the read to the serving layer")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

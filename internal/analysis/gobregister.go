@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// GobRegister forbids gob.Register and gob.RegisterName outside
+// gobtypes.go. encoding/gob assigns wire type IDs in first-encode
+// order process-wide, and those IDs appear in the encoded bytes — so
+// checkpoint byte-identity (the durability drills `cmp` artifacts)
+// requires that every gob type is pinned in one canonical order in
+// internal/mtmlf/gobtypes.go before any artifact is produced. A
+// registration anywhere else reintroduces order dependence. This
+// analyzer has no comment escape hatch on purpose: move the
+// registration, don't justify it.
+var GobRegister = &Analyzer{
+	Name:       "gobregister",
+	Doc:        "forbid gob.Register/RegisterName outside gobtypes.go (pinned type-ID allocation order)",
+	NoSuppress: true,
+	Run:        runGobRegister,
+}
+
+func runGobRegister(pass *Pass) error {
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "gobtypes.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			for _, name := range []string{"Register", "RegisterName"} {
+				if isPkgFunc(obj, "encoding/gob", name) {
+					pass.Reportf(call.Pos(), "gob.%s outside gobtypes.go perturbs the pinned wire type-ID order; register the type in internal/mtmlf/gobtypes.go", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

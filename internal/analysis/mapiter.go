@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in a determinism-critical package.
+// Go randomizes map iteration order per run, so any map range whose
+// body's effect depends on visit order — accumulating into a float,
+// appending examples, writing an artifact section — breaks the
+// bitwise-reproducibility contract the training path guarantees at
+// any worker count.
+//
+// Two shapes pass without a justification comment:
+//
+//   - the key-collection idiom: a loop whose whole body is
+//     `keys = append(keys, k)` where the collected slice is passed to
+//     a sort call later in the same function — the canonical
+//     sort-the-keys-then-range pattern;
+//   - a loop suppressed with //mtmlf:unordered-ok on its line or the
+//     line above, for bodies that are provably order-independent
+//     (e.g. writing into another map, or folding with a commutative
+//     op over ints).
+var MapIter = &Analyzer{
+	Name:            "mapiter",
+	Doc:             "flag map iteration in determinism-critical packages (sort keys first, or justify with //mtmlf:unordered-ok)",
+	SuppressAliases: []string{"unordered-ok"},
+	Run:             runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncMapRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collected := keyCollectionTarget(pass, rng); collected != nil {
+			if sortedLater(pass, fn, rng, collected) {
+				return true
+			}
+			pass.Reportf(rng.For, "keys of map range are collected into %q but never sorted in %s; sort before use or justify with //mtmlf:unordered-ok", collected.Name(), fn.Name.Name)
+			return true
+		}
+		pass.Reportf(rng.For, "iteration over map is unordered and breaks bitwise reproducibility; collect+sort the keys first or justify with //mtmlf:unordered-ok")
+		return true
+	})
+}
+
+// keyCollectionTarget returns the slice variable object when rng's
+// body is exactly `s = append(s, k)` (k the loop key), else nil.
+func keyCollectionTarget(pass *Pass, rng *ast.RangeStmt) types.Object {
+	if rng.Key == nil || rng.Body == nil || len(rng.Body.List) != 1 {
+		return nil
+	}
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	keyObj := pass.TypesInfo.Defs[keyIdent]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyIdent]
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return nil
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	arg1, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || keyObj == nil || pass.TypesInfo.Uses[arg1] != keyObj {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[lhs]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[lhs]
+}
+
+// sortedLater reports whether, after the range loop, fn contains a
+// call into package sort or slices whose arguments mention the
+// collected slice.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, collected types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return true
+		}
+		obj := calleeObject(pass.TypesInfo, call)
+		fnObj, ok := obj.(*types.Func)
+		if !ok || fnObj.Pkg() == nil {
+			return true
+		}
+		if p := fnObj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == collected {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

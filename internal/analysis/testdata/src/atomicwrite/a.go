@@ -1,0 +1,36 @@
+// Package atomicwrite is the fixture for the atomicwrite analyzer:
+// artifacts are published through ckptio.WriteFileAtomic, never a raw
+// os.WriteFile/os.Create.
+package atomicwrite
+
+import "os"
+
+// Flagged: a torn artifact is one crash away.
+func rawWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses the atomic-commit path`
+}
+
+// Flagged: os.Create has the same torn-file failure mode.
+func rawCreate(path string) error {
+	f, err := os.Create(path) // want `os.Create bypasses the atomic-commit path`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Clean: reading is not publishing.
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Clean: temp files never hold the published artifact.
+func scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch*")
+}
+
+// Clean: a justified non-artifact write.
+func debugDump(path string, data []byte) error {
+	//mtmlf:allow:atomicwrite transient debug dump, not an artifact
+	return os.WriteFile(path, data, 0o644)
+}

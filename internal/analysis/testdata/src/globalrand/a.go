@@ -1,0 +1,33 @@
+// Package globalrand is the fixture for the globalrand analyzer:
+// entropy must flow through an injected *rand.Rand, and the wall
+// clock stays out of determinism-critical code.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: draws from the process-global source.
+func globalDraws() (int, float64) {
+	n := rand.Intn(10)   // want `rand.Intn draws from the process-global source`
+	f := rand.Float64()  // want `rand.Float64 draws from the process-global source`
+	rand.Shuffle(n, nil) // want `rand.Shuffle draws from the process-global source`
+	return n, f
+}
+
+// Flagged: wall-clock read.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now is wall-clock`
+}
+
+// Clean: constructing and using an injected generator.
+func injected(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Clean: non-Now uses of time are fine (durations, formatting).
+func window(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,20 @@
+// Package gobregister is the fixture for the gobregister analyzer:
+// gob type registration lives in gobtypes.go only, so wire type-ID
+// allocation order stays pinned.
+package gobregister
+
+import "encoding/gob"
+
+type payload struct{ N int }
+
+// Flagged: registration outside gobtypes.go perturbs type-ID order.
+func init() {
+	gob.Register(payload{})                // want `gob.Register outside gobtypes.go`
+	gob.RegisterName("payload", payload{}) // want `gob.RegisterName outside gobtypes.go`
+}
+
+// Clean: encoding/decoding with gob is unrestricted.
+func roundTrip() error {
+	enc := gob.NewEncoder(nil)
+	return enc.Encode(payload{N: 1})
+}

@@ -1,0 +1,9 @@
+package gobregister
+
+import "encoding/gob"
+
+// Clean: gobtypes.go is the one place allowed to register, pinning
+// the process-wide type-ID allocation order.
+func pin() {
+	gob.Register(payload{})
+}

@@ -1,0 +1,52 @@
+// Package mapiter is the fixture for the mapiter analyzer: map ranges
+// in determinism-critical code must sort keys first or justify.
+package mapiter
+
+import "sort"
+
+// Flagged: the fold's result depends on visit order for floats.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `iteration over map is unordered`
+		s += v
+	}
+	return s
+}
+
+// Flagged: keys collected but never sorted before use.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collected into "keys" but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Clean: the canonical collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clean: justified as order-independent.
+func intoOtherMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//mtmlf:unordered-ok writing into another map is order-independent
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Clean: ranging a slice is ordered.
+func overSlice(xs []int) int {
+	var s int
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

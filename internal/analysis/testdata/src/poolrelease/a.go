@@ -1,0 +1,91 @@
+// Package poolrelease is the fixture for the poolrelease analyzer:
+// every Acquire* result is released on all return paths, or its
+// ownership explicitly escapes.
+package poolrelease
+
+// Eval stands in for ag.Eval: a pooled session handle.
+type Eval struct{ live int }
+
+// AcquireEval / ReleaseEval mirror the free-function pool API.
+func AcquireEval() *Eval  { return &Eval{} }
+func ReleaseEval(e *Eval) { e.live = 0 }
+
+// Pool mirrors the method-form pool API.
+type Pool struct{}
+
+func (p *Pool) Acquire() *Eval  { return &Eval{} }
+func (p *Pool) Release(e *Eval) { e.live = 0 }
+
+// Flagged: acquired, used, never released.
+func leak(work func(*Eval) int) int {
+	e := AcquireEval() // want `result of AcquireEval is never released with ReleaseEval`
+	return work(e)
+}
+
+// Flagged: the error path returns before the release.
+func leakOnErrPath(fail bool, work func(*Eval) int) int {
+	e := AcquireEval() // want `not released with ReleaseEval on the return path`
+	if fail {
+		return -1
+	}
+	n := work(e)
+	ReleaseEval(e)
+	return n
+}
+
+// Flagged: result discarded outright.
+func discard() {
+	AcquireEval() // want `result of AcquireEval is discarded`
+}
+
+// Flagged: result bound to blank.
+func discardBlank() {
+	_ = AcquireEval() // want `result of AcquireEval is discarded`
+}
+
+// Clean: deferred free-function release covers every path.
+func deferred(fail bool, work func(*Eval) int) int {
+	e := AcquireEval()
+	defer ReleaseEval(e)
+	if fail {
+		return -1
+	}
+	return work(e)
+}
+
+// Clean: deferred method-form release.
+func deferredMethod(p *Pool, work func(*Eval) int) int {
+	e := p.Acquire()
+	defer p.Release(e)
+	return work(e)
+}
+
+// Clean: explicit release before the single return.
+func explicit(work func(*Eval) int) int {
+	e := AcquireEval()
+	n := work(e)
+	ReleaseEval(e)
+	return n
+}
+
+// Clean: released inside a deferred cleanup closure.
+func deferredClosure(work func(*Eval) int) int {
+	e := AcquireEval()
+	defer func() { ReleaseEval(e) }()
+	return work(e)
+}
+
+// Clean: ownership escapes to the caller with the value.
+func handOff() *Eval {
+	e := AcquireEval()
+	return e
+}
+
+// session outlives the function; the release duty moves with it.
+type session struct{ e *Eval }
+
+// Clean: ownership escapes into a longer-lived struct.
+func store(s *session) {
+	e := AcquireEval()
+	s.e = e
+}

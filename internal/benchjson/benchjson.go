@@ -12,10 +12,13 @@ package benchjson
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 	"time"
+
+	"mtmlf/internal/ckptio"
 )
 
 // Entry is one measured benchmark.
@@ -156,11 +159,52 @@ func (r *Report) AddLoad(e LoadEntry) {
 	r.Load = append(r.Load, e)
 }
 
-// Write marshals the report to path (pretty-printed, trailing newline).
+// Write marshals the report to path (pretty-printed, trailing
+// newline). The write is atomic (temp file + fsync + rename via
+// ckptio): BENCH artifacts are uploaded by CI mid-run, and a reader
+// must never observe a torn report.
 func (r *Report) Write(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return ckptio.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
+}
+
+// ReadFile parses a report previously written by Write.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: corrupt report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// AppendTo merges r's measurements into the report at path and
+// rewrites it atomically, so a BENCH artifact can accumulate a
+// trajectory across runs. A missing file starts a fresh report with
+// r's label and environment; an existing file keeps its own label and
+// gains r's entries, speedups, and load measurements. A corrupt
+// existing file is an error and is left untouched — appending must
+// never destroy a trajectory it cannot parse.
+func (r *Report) AppendTo(path string) error {
+	base, err := ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		base = r
+	case err != nil:
+		return err
+	default:
+		base.Entries = append(base.Entries, r.Entries...)
+		base.Speedups = append(base.Speedups, r.Speedups...)
+		base.Load = append(base.Load, r.Load...)
+	}
+	return base.Write(path)
 }

@@ -1,0 +1,107 @@
+package benchjson
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// unwritablePath returns a path whose parent "directory" is a regular
+// file — writes there fail with ENOTDIR for any uid, including root
+// (permission-bit tricks don't work when tests run as root).
+func unwritablePath(t *testing.T) string {
+	t.Helper()
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(blocker, "report.json")
+}
+
+func TestWriteUnwritableDir(t *testing.T) {
+	r := NewReport("err")
+	if err := r.Write(unwritablePath(t)); err == nil {
+		t.Fatal("Write into a non-directory succeeded")
+	}
+}
+
+func TestAppendToUnwritableDir(t *testing.T) {
+	r := NewReport("err")
+	if err := r.AppendTo(unwritablePath(t)); err == nil {
+		t.Fatal("AppendTo into a non-directory succeeded")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("ReadFile on missing file: got %v, want IsNotExist", err)
+	}
+}
+
+func TestReadFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt report") {
+		t.Fatalf("ReadFile on garbage: got %v, want corrupt-report error", err)
+	}
+}
+
+// A corrupt existing trajectory must fail the append and stay
+// byte-identical — appending never clobbers what it cannot parse.
+func TestAppendToCorruptExistingLeavesFileIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	garbage := []byte("}} definitely not json {{")
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReport("append")
+	r.AddLoad(LoadEntry{Name: "card/c8", Endpoint: "card", Concurrency: 8})
+	if err := r.AppendTo(path); err == nil {
+		t.Fatal("AppendTo over a corrupt report succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, garbage) {
+		t.Fatalf("corrupt report was modified by a failed append:\n%s", after)
+	}
+}
+
+func TestAppendToAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	first := NewReport("run-1")
+	first.AddLoad(LoadEntry{Name: "card/c4", Endpoint: "card", Concurrency: 4, OK: 10})
+	if err := first.AppendTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewReport("run-2")
+	second.AddLoad(LoadEntry{Name: "card/c16", Endpoint: "card", Concurrency: 16, OK: 20})
+	second.Entries = append(second.Entries, Entry{Name: "kernel", Iterations: 1})
+	if err := second.AppendTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The existing report keeps its identity and gains the new rows.
+	if got.Label != "run-1" {
+		t.Errorf("label = %q, want run-1", got.Label)
+	}
+	if len(got.Load) != 2 || got.Load[0].Name != "card/c4" || got.Load[1].Name != "card/c16" {
+		t.Errorf("load entries after append: %+v", got.Load)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].Name != "kernel" {
+		t.Errorf("entries after append: %+v", got.Entries)
+	}
+}
