@@ -5,7 +5,8 @@
 //
 //	mtmlf-bench -exp table1|table2|table3|all [-scale quick|full] [-seed N]
 //	            [-workers 0]
-//	mtmlf-bench -json BENCH_PR2.json
+//	mtmlf-bench -json BENCH_PR9.json
+//	mtmlf-bench -calib
 //
 // -workers sizes the shared worker pool (0 = all cores): independent
 // trials within each table, fleet generation, and the tensor kernels
@@ -13,9 +14,15 @@
 //
 // -json skips the tables and instead measures the key serving-path
 // benchmarks (cached vs legacy beam search across beam widths, the
-// pooled vs map Figure-4 codec, grad vs no-grad forward), writing
-// ns/op, allocs/op, B/op and the speedup ratios to the given file —
-// the artifact CI uploads so the perf trajectory accumulates.
+// pooled vs map Figure-4 codec, grad vs no-grad forward) plus the
+// per-kernel precision roofline (effective GFLOP/s and streamed
+// bytes per op for each kernel at f64/f32/int8 — see roofline.go),
+// writing ns/op, allocs/op, B/op and the speedup ratios to the given
+// file — the artifact CI uploads so the perf trajectory accumulates.
+//
+// -calib runs the reduced-precision calibration harness on the
+// deterministic smoke fleet and exits non-zero if any lowered tier
+// breaks its q-error budget or changes a join order (internal/calib).
 //
 // At -scale quick each table finishes in seconds; -scale full runs a
 // larger protocol (minutes). Absolute numbers depend on the synthetic
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"mtmlf/internal/benchjson"
+	"mtmlf/internal/calib"
 	"mtmlf/internal/experiments"
 	"mtmlf/internal/inferbench"
 	"mtmlf/internal/tensor"
@@ -42,11 +50,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
 	jsonPath := flag.String("json", "", "write the inference fast-path benchmark report to this file and exit")
+	runCalib := flag.Bool("calib", false, "run the reduced-precision calibration harness and exit (non-zero on budget violation)")
 	flag.Parse()
 	tensor.SetParallelism(*workers)
 
+	if *runCalib {
+		m, qs := calib.SmokeFleet(7, 12)
+		failed := false
+		for _, r := range calib.RunAll(m, qs) {
+			fmt.Println(r.String())
+			if !r.OK() {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonPath != "" {
-		if err := runJSONBench(*jsonPath); err != nil {
+		if err := runJSONBench(*jsonPath, *workers); err != nil {
 			log.Fatalf("json bench: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
@@ -95,13 +119,21 @@ func main() {
 	}
 }
 
-// runJSONBench measures the serving-path benchmark suite and writes
-// the report. The scenario bodies live in internal/inferbench and are
-// shared with the root `go test -bench` harness, so CLI numbers and
-// bench numbers describe the same workload by construction.
-func runJSONBench(path string) error {
+// runJSONBench measures the serving-path benchmark suite plus the
+// per-kernel roofline and writes the report. The serving-path scenario
+// bodies live in internal/inferbench and are shared with the root `go
+// test -bench` harness, so CLI numbers and bench numbers describe the
+// same workload by construction.
+func runJSONBench(path string, workers int) error {
 	m, lq := inferbench.Setup()
-	report := benchjson.NewReport("PR2 inference fast path")
+	report := benchjson.NewReport("PR9 reduced-precision inference")
+	// Record the resolved pool size, not the raw flag: -workers 0 means
+	// "all cores", and the report should say how many that was.
+	if workers <= 0 {
+		report.Workers = tensor.Parallelism()
+	} else {
+		report.Workers = workers
+	}
 
 	// Beam search: cached incremental vs legacy full-prefix recompute.
 	for _, k := range []int{1, 2, 4, 8} {
@@ -125,6 +157,11 @@ func runJSONBench(path string) error {
 	report.Measure("infer/grad", inferbench.InferGrad(m, lq))
 	report.Measure("infer/nograd", inferbench.InferNoGrad(m, lq))
 	if err := report.AddSpeedup("infer_no_grad", "infer/grad", "infer/nograd"); err != nil {
+		return err
+	}
+
+	// Per-kernel roofline across the precision tiers (PR9).
+	if err := addRoofline(report); err != nil {
 		return err
 	}
 

@@ -1,0 +1,190 @@
+// Per-kernel roofline measurements for the reduced-precision tier:
+// each entry records effective GFLOP/s and the bytes the kernel
+// streams per op, per precision per size, so the BENCH trajectory
+// shows where each kernel sits between the memory-bandwidth and
+// compute ceilings — and how far the f32/int8 tiers move it.
+
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"mtmlf/internal/benchjson"
+	"mtmlf/internal/inferbench"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/tensor"
+)
+
+// fill writes a deterministic, well-conditioned pattern (values in
+// roughly [-1, 1], no denormals) so every precision multiplies the
+// same magnitudes.
+func fillF64(d []float64) {
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range d {
+		s = s*6364136223846793005 + 1442695040888963407
+		d[i] = float64(int64(s>>33))/float64(1<<30) - 1
+	}
+}
+
+func fillF32(d []float32) {
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range d {
+		s = s*6364136223846793005 + 1442695040888963407
+		d[i] = float32(float64(int64(s>>33))/float64(1<<30) - 1)
+	}
+}
+
+// rooflineMatMulSizes are the square matmul shapes measured per tier.
+// 64 sits under the serial-dispatch threshold, 256 and 512 are the
+// shapes the f32-vs-f64 acceptance speedups are read from.
+var rooflineMatMulSizes = []int{64, 256, 512}
+
+// addRoofline appends the per-kernel roofline section to the report:
+// matmul across all three tiers, transposed-B matmul, and the
+// row-wise epilogue kernels (bias add, softmax, layernorm, GELU) at
+// f64 and f32. Every kernel is measured serially (w1) so the numbers
+// are per-core kernel quality, not pool scaling; the matmul
+// acceptance shapes are re-measured at the configured pool size (wN)
+// to show the sharded ceiling.
+func addRoofline(r *benchjson.Report) error {
+	restore := tensor.Parallelism()
+	defer tensor.SetParallelism(restore)
+
+	measureMatMuls := func(workers int) {
+		tensor.SetParallelism(workers)
+		eff := tensor.Parallelism()
+		if workers != 1 && eff == 1 {
+			return // single-core: the wN pass would duplicate the w1 entries
+		}
+		wtag := fmt.Sprintf("w%d", eff)
+		for _, n := range rooflineMatMulSizes {
+			if workers != 1 && n < 256 {
+				continue // below the parallel dispatch threshold anyway
+			}
+			flops := int64(2) * int64(n) * int64(n) * int64(n)
+
+			a64, b64, out64 := tensor.New(n, n), tensor.New(n, n), tensor.New(n, n)
+			fillF64(a64.Data)
+			fillF64(b64.Data)
+			r.MeasureKernel(fmt.Sprintf("roofline/matmul/%d/f64/%s", n, wtag), "f64",
+				flops, int64(3*8*n*n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						clear(out64.Data)
+						tensor.MatMulInto(a64, b64, out64)
+					}
+				})
+			r.MeasureKernel(fmt.Sprintf("roofline/transb/%d/f64/%s", n, wtag), "f64",
+				flops, int64(3*8*n*n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						tensor.MatMulTransBInto(a64, b64, out64)
+					}
+				})
+
+			a32, b32, out32 := tensor.NewF32(n, n), tensor.NewF32(n, n), tensor.NewF32(n, n)
+			fillF32(a32.Data)
+			fillF32(b32.Data)
+			r.MeasureKernel(fmt.Sprintf("roofline/matmul/%d/f32/%s", n, wtag), "f32",
+				flops, int64(3*4*n*n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						clear(out32.Data)
+						tensor.MatMulF32Into(a32, b32, out32)
+					}
+				})
+			r.MeasureKernel(fmt.Sprintf("roofline/transb/%d/f32/%s", n, wtag), "f32",
+				flops, int64(3*4*n*n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						tensor.MatMulTransBF32Into(a32, b32, out32)
+					}
+				})
+
+			w8 := tensor.QuantizeLinear(b64)
+			bias := tensor.NewF32(1, n)
+			qbuf := make([]int8, n*n)
+			// int8 streams the quantized weights (1 B/element) plus f32
+			// activations and output; the dynamic row quantization is
+			// part of the measured op, as it is in serving.
+			r.MeasureKernel(fmt.Sprintf("roofline/matmul/%d/int8/%s", n, wtag), "int8",
+				flops, int64((1+4+4)*n*n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						tensor.MatMulInt8Into(a32, w8, bias, out32, qbuf)
+					}
+				})
+		}
+	}
+
+	measureMatMuls(1)
+	if restore > 1 {
+		measureMatMuls(restore)
+	}
+	tensor.SetParallelism(1)
+
+	// Row-wise epilogue kernels at the serving activation shape.
+	const en = 256
+	eflops := map[string]int64{ // nominal flops/element, for relative placement
+		"addbias":   1,
+		"softmax":   5,
+		"layernorm": 8,
+		"gelu":      10,
+	}
+	a64, g64, out64 := tensor.New(en, en), tensor.New(1, en), tensor.New(en, en)
+	fillF64(a64.Data)
+	fillF64(g64.Data)
+	beta64 := tensor.New(1, en)
+	a32, g32, out32 := tensor.NewF32(en, en), tensor.NewF32(1, en), tensor.NewF32(en, en)
+	fillF32(a32.Data)
+	fillF32(g32.Data)
+	beta32 := tensor.NewF32(1, en)
+	ew := func(kernel string, f64body, f32body func()) {
+		r.MeasureKernel(fmt.Sprintf("roofline/%s/%d/f64/w1", kernel, en), "f64",
+			eflops[kernel]*en*en, int64(2*8*en*en), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					f64body()
+				}
+			})
+		r.MeasureKernel(fmt.Sprintf("roofline/%s/%d/f32/w1", kernel, en), "f32",
+			eflops[kernel]*en*en, int64(2*4*en*en), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					f32body()
+				}
+			})
+	}
+	ew("addbias",
+		func() { tensor.AddBiasInto(a64, g64, out64) },
+		func() { tensor.AddBiasF32Into(a32, g32, out32) })
+	ew("softmax",
+		func() { tensor.SoftmaxRowsInto(a64, out64) },
+		func() { tensor.SoftmaxRowsF32Into(a32, out32) })
+	ew("layernorm",
+		func() { tensor.LayerNormRowsInto(a64, g64, beta64, 1e-5, out64) },
+		func() { tensor.LayerNormRowsF32Into(a32, g32, beta32, 1e-5, out32) })
+	ew("gelu",
+		func() { tensor.GELUInto(a64, out64) },
+		func() { tensor.GELUF32Into(a32, out32) })
+
+	// Resident model bytes per tier (capacity entries: DataBytesPerOp
+	// is the replica size, no arithmetic measured). The model is the
+	// shared inferbench serving configuration.
+	m, _ := inferbench.Setup()
+	r.Entries = append(r.Entries,
+		benchjson.Entry{Name: "model_bytes/f64", Precision: "f64",
+			DataBytesPerOp: int64(m.ParamBytes())},
+		benchjson.Entry{Name: "model_bytes/f32", Precision: "f32",
+			DataBytesPerOp: int64(m.Lower(nn.PrecisionF32).ParamBytes())},
+		benchjson.Entry{Name: "model_bytes/int8", Precision: "int8",
+			DataBytesPerOp: int64(m.Lower(nn.PrecisionInt8).ParamBytes())},
+	)
+
+	// The acceptance speedups: f32 matmul vs f64 at the serial
+	// acceptance shapes.
+	for _, n := range []int{256, 512} {
+		if err := r.AddSpeedup(
+			fmt.Sprintf("roofline/matmul/%d/f32_vs_f64", n),
+			fmt.Sprintf("roofline/matmul/%d/f64/w1", n),
+			fmt.Sprintf("roofline/matmul/%d/f32/w1", n),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}

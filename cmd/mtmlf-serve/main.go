@@ -62,6 +62,7 @@ import (
 
 	"mtmlf/internal/datagen"
 	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/nn"
 	"mtmlf/internal/serve"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/tensor"
@@ -106,11 +107,17 @@ func main() {
 	window := flag.Duration("window", 200*time.Microsecond, "micro-batch fill window")
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth; a full queue sheds with 429 (0 = 4x sessions)")
 	workers := flag.Int("workers", 0, "tensor-kernel worker pool size (0 = all cores)")
+	precision := flag.String("precision", "f64", "serving tier: f64 (reference), f32, or int8 (calibrated lowered replica; see DESIGN.md §9)")
 	flag.Parse()
 
 	if *ckpt == "" {
 		fmt.Fprintln(os.Stderr, "mtmlf-serve: -checkpoint is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtmlf-serve: %v\n", err)
 		os.Exit(2)
 	}
 	tensor.SetParallelism(*workers)
@@ -156,9 +163,14 @@ func main() {
 		// An HTTP front end sheds; blocking admission is for
 		// in-process embedding (see serve.Options).
 		ShedOverload: true,
+		Precision:    prec,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if prec != nn.PrecisionF64 {
+		log.Printf("serving at %s: %d resident model bytes (f64 reference would be %d)",
+			prec, engine.LoweredParamBytes(), model.ParamBytes())
 	}
 
 	// reload re-reads the checkpoint path; shared by /reloadz and

@@ -1,0 +1,290 @@
+// EvalF32: the reduced-precision inference session — the float32 twin
+// of Eval for serving a precision-lowered model replica (see
+// internal/nn's lowering pass and DESIGN.md §9).
+//
+// It reuses the pool/ownership discipline mtmlf-vet enforces verbatim:
+// tensors returned by EvalF32 ops belong to the session's PoolF32 and
+// die at the next Reset; a session is single-goroutine; concurrent
+// sessions each acquire their own (AcquireEvalF32 / ReleaseEvalF32 —
+// the Acquire/Release naming pair is what the poolrelease analyzer
+// keys on, so the f32 tier is covered by the same contract gate).
+//
+// There is no gradient twin to be bitwise-equal to in this tier;
+// instead the within-tier contract is serial == sharded bitwise
+// (inherited from the f32 kernels), and cross-tier agreement with the
+// float64 reference is calibrated by internal/calib.
+package ag
+
+import (
+	"fmt"
+	"sync"
+
+	"mtmlf/internal/tensor"
+)
+
+// EvalF32 is a pooled forward-only float32 evaluator. Not safe for
+// concurrent use; see AcquireEvalF32.
+type EvalF32 struct {
+	pool *tensor.PoolF32
+	// views is a freelist of tensor headers for zero-copy row views,
+	// recycled on Reset like the pooled buffers.
+	views []*tensor.F32
+	vnext int
+	// qscratch is the int8 activation scratch LinearInt8 quantizes
+	// into; grown on demand, retained across Resets so the steady
+	// state allocates nothing.
+	qscratch []int8
+}
+
+// NewEvalF32 creates an evaluator with an empty pool.
+func NewEvalF32() *EvalF32 { return &EvalF32{pool: tensor.NewPoolF32()} }
+
+// Reset reclaims every tensor and view handed out by this evaluator.
+func (e *EvalF32) Reset() {
+	e.pool.Reset()
+	e.vnext = 0
+}
+
+// Get returns a zeroed pooled tensor — scratch for callers that write
+// elements selectively (one-hot feature rows and the like).
+func (e *EvalF32) Get(shape ...int) *tensor.F32 { return e.pool.Get(shape...) }
+
+var evalF32Pool = sync.Pool{New: func() any { return NewEvalF32() }}
+
+// AcquireEvalF32 checks a warm f32 evaluator out of the process-wide
+// pool. Pair with ReleaseEvalF32.
+func AcquireEvalF32() *EvalF32 { return evalF32Pool.Get().(*EvalF32) }
+
+// ReleaseEvalF32 resets e and returns it to the process-wide pool.
+// Every tensor it handed out becomes invalid.
+func ReleaseEvalF32(e *EvalF32) {
+	e.Reset()
+	evalF32Pool.Put(e)
+}
+
+// NoGradF32 runs f with a pooled f32 evaluator, then reclaims
+// everything the evaluator handed out. Results that must survive f
+// must be copied out (Clone) before it returns.
+func NoGradF32(f func(e *EvalF32)) {
+	e := AcquireEvalF32()
+	defer ReleaseEvalF32(e)
+	f(e)
+}
+
+// RowsView returns a zero-copy view of rows [from, to) of t. The view
+// shares t's backing array and dies at Reset; callers must treat it
+// as read-only.
+func (e *EvalF32) RowsView(t *tensor.F32, from, to int) *tensor.F32 {
+	m, n := t.Rows(), t.Cols()
+	if from < 0 || to > m || from > to {
+		panic(fmt.Sprintf("ag: EvalF32.RowsView [%d,%d) of %d rows", from, to, m))
+	}
+	return e.view(t.Data[from*n:to*n], to-from, n)
+}
+
+// view hands out a recycled tensor header over data.
+func (e *EvalF32) view(data []float32, rows, cols int) *tensor.F32 {
+	if e.vnext < len(e.views) {
+		v := e.views[e.vnext]
+		e.vnext++
+		v.Data = data
+		v.Shape[0], v.Shape[1] = rows, cols
+		return v
+	}
+	v := &tensor.F32{Data: data, Shape: []int{rows, cols}}
+	e.views = append(e.views, v)
+	e.vnext++
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Op set (f32 twins of the Eval ops, pooled outputs)
+// ---------------------------------------------------------------------------
+
+// Add returns a + b.
+func (e *EvalF32) Add(a, b *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.AddF32Into(a, b, out)
+	return out
+}
+
+// Scale returns s * a (s is rounded to float32 once, not per element).
+func (e *EvalF32) Scale(a *tensor.F32, s float64) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.ScaleF32Into(a, float32(s), out)
+	return out
+}
+
+// AddBias broadcasts a 1xN bias row across every row of a.
+func (e *EvalF32) AddBias(a, bias *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.AddBiasF32Into(a, bias, out)
+	return out
+}
+
+// MatMul returns a @ b.
+func (e *EvalF32) MatMul(a, b *tensor.F32) *tensor.F32 {
+	out := e.pool.Get(a.Rows(), b.Cols())
+	tensor.MatMulF32Into(a, b, out)
+	return out
+}
+
+// MatMulTransB returns a @ b^T.
+func (e *EvalF32) MatMulTransB(a, b *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Rows(), b.Rows())
+	tensor.MatMulTransBF32Into(a, b, out)
+	return out
+}
+
+// MatMulBatch returns as[i] @ bs[i] computed in one pool dispatch.
+func (e *EvalF32) MatMulBatch(as, bs []*tensor.F32) []*tensor.F32 {
+	outs := make([]*tensor.F32, len(as))
+	for i := range as {
+		outs[i] = e.pool.Get(as[i].Rows(), bs[i].Cols())
+	}
+	tensor.MatMulF32BatchInto(as, bs, outs)
+	return outs
+}
+
+// MatMulTransBBatch returns as[i] @ bs[i]^T in one pool dispatch.
+func (e *EvalF32) MatMulTransBBatch(as, bs []*tensor.F32) []*tensor.F32 {
+	outs := make([]*tensor.F32, len(as))
+	for i := range as {
+		outs[i] = e.pool.GetUninit(as[i].Rows(), bs[i].Rows())
+	}
+	tensor.MatMulTransBF32BatchInto(as, bs, outs)
+	return outs
+}
+
+// LinearInt8 returns x @ w_dequant + bias for int8-quantized weights:
+// dynamic per-row activation quantization, int32 accumulation, and
+// dequantization fused into the bias add (see tensor.MatMulInt8Into).
+func (e *EvalF32) LinearInt8(x *tensor.F32, w *tensor.Int8Matrix, bias *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(x.Rows(), w.Out)
+	need := x.Rows() * x.Cols()
+	if cap(e.qscratch) < need {
+		e.qscratch = make([]int8, need)
+	}
+	tensor.MatMulInt8Into(x, w, bias, out, e.qscratch[:need])
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func (e *EvalF32) ReLU(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.ReLUF32Into(a, out)
+	return out
+}
+
+// GELU applies the tanh-approximation GELU elementwise.
+func (e *EvalF32) GELU(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.GELUF32Into(a, out)
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (e *EvalF32) Tanh(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.TanhF32Into(a, out)
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (e *EvalF32) Sigmoid(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.SigmoidF32Into(a, out)
+	return out
+}
+
+// SoftmaxRows applies softmax to each row.
+func (e *EvalF32) SoftmaxRows(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.SoftmaxRowsF32Into(a, out)
+	return out
+}
+
+// LogSoftmaxRows applies log-softmax to each row.
+func (e *EvalF32) LogSoftmaxRows(a *tensor.F32) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.LogSoftmaxRowsF32Into(a, out)
+	return out
+}
+
+// LayerNormRows normalizes each row and applies gain/bias.
+func (e *EvalF32) LayerNormRows(a, gamma, beta *tensor.F32, eps float64) *tensor.F32 {
+	out := e.pool.GetUninit(a.Shape...)
+	tensor.LayerNormRowsF32Into(a, gamma, beta, eps, out)
+	return out
+}
+
+// ConcatRows stacks matrices with equal column counts vertically.
+func (e *EvalF32) ConcatRows(vs ...*tensor.F32) *tensor.F32 {
+	if len(vs) == 0 {
+		panic("ag: EvalF32.ConcatRows of nothing")
+	}
+	n := vs[0].Cols()
+	total := 0
+	for _, v := range vs {
+		if v.Cols() != n {
+			panic("ag: EvalF32.ConcatRows column mismatch")
+		}
+		total += v.Rows()
+	}
+	out := e.pool.GetUninit(total, n)
+	r := 0
+	for _, v := range vs {
+		copy(out.Data[r*n:], v.Data)
+		r += v.Rows()
+	}
+	return out
+}
+
+// ConcatCols stacks matrices with equal row counts horizontally.
+func (e *EvalF32) ConcatCols(vs ...*tensor.F32) *tensor.F32 {
+	if len(vs) == 0 {
+		panic("ag: EvalF32.ConcatCols of nothing")
+	}
+	m := vs[0].Rows()
+	total := 0
+	for _, v := range vs {
+		if v.Rows() != m {
+			panic("ag: EvalF32.ConcatCols row mismatch")
+		}
+		total += v.Cols()
+	}
+	out := e.pool.GetUninit(m, total)
+	off := 0
+	for _, v := range vs {
+		c := v.Cols()
+		for i := 0; i < m; i++ {
+			copy(out.Row(i)[off:off+c], v.Row(i))
+		}
+		off += c
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of a (copied because
+// column slices are not contiguous).
+func (e *EvalF32) SliceCols(a *tensor.F32, from, to int) *tensor.F32 {
+	m, n := a.Rows(), a.Cols()
+	if from < 0 || to > n || from > to {
+		panic(fmt.Sprintf("ag: EvalF32.SliceCols [%d,%d) of %d cols", from, to, n))
+	}
+	out := e.pool.GetUninit(m, to-from)
+	for i := 0; i < m; i++ {
+		copy(out.Row(i), a.Row(i)[from:to])
+	}
+	return out
+}
+
+// Gather returns the rows of w selected by idx, in order.
+func (e *EvalF32) Gather(w *tensor.F32, idx []int) *tensor.F32 {
+	n := w.Cols()
+	out := e.pool.GetUninit(len(idx), n)
+	for i, ix := range idx {
+		copy(out.Row(i), w.Row(ix))
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package ag
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtmlf/internal/tensor"
+)
+
+func f32Of(t *tensor.Tensor) *tensor.F32 { return tensor.F32FromTensor(t) }
+
+// TestEvalF32OpsMatchKernels asserts every EvalF32 op is bitwise
+// identical (eps = 0) to calling the underlying f32 kernel directly —
+// the pooled session adds ownership, not arithmetic.
+func TestEvalF32OpsMatchKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := f32Of(tensor.Rand(rng, 7, 12, 2))
+	b := f32Of(tensor.Rand(rng, 7, 12, 2))
+	w := f32Of(tensor.Rand(rng, 12, 9, 1))
+	k := f32Of(tensor.Rand(rng, 5, 12, 1))
+	bias := f32Of(tensor.Rand(rng, 1, 12, 1))
+	gamma := f32Of(tensor.Rand(rng, 1, 12, 1))
+	beta := f32Of(tensor.Rand(rng, 1, 12, 1))
+
+	e := NewEvalF32()
+	defer e.Reset()
+
+	check := func(name string, got, want *tensor.F32) {
+		t.Helper()
+		if !tensor.EqualF32(got, want, 0) {
+			t.Fatalf("%s: EvalF32 output diverges from direct kernel call", name)
+		}
+	}
+	into := func(f func(out *tensor.F32)) *tensor.F32 {
+		out := tensor.NewF32(a.Shape...)
+		f(out)
+		return out
+	}
+
+	check("Add", e.Add(a, b), into(func(o *tensor.F32) { tensor.AddF32Into(a, b, o) }))
+	check("Scale", e.Scale(a, -0.37), into(func(o *tensor.F32) { tensor.ScaleF32Into(a, float32(-0.37), o) }))
+	check("AddBias", e.AddBias(a, bias), into(func(o *tensor.F32) { tensor.AddBiasF32Into(a, bias, o) }))
+	check("MatMul", e.MatMul(a, w), tensor.MatMulF32(a, w))
+	check("MatMulTransB", e.MatMulTransB(a, k), tensor.MatMulTransBF32(a, k))
+	check("ReLU", e.ReLU(a), into(func(o *tensor.F32) { tensor.ReLUF32Into(a, o) }))
+	check("GELU", e.GELU(a), into(func(o *tensor.F32) { tensor.GELUF32Into(a, o) }))
+	check("Tanh", e.Tanh(a), into(func(o *tensor.F32) { tensor.TanhF32Into(a, o) }))
+	check("Sigmoid", e.Sigmoid(a), into(func(o *tensor.F32) { tensor.SigmoidF32Into(a, o) }))
+	check("SoftmaxRows", e.SoftmaxRows(a), into(func(o *tensor.F32) { tensor.SoftmaxRowsF32Into(a, o) }))
+	check("LogSoftmaxRows", e.LogSoftmaxRows(a), into(func(o *tensor.F32) { tensor.LogSoftmaxRowsF32Into(a, o) }))
+	check("LayerNormRows", e.LayerNormRows(a, gamma, beta, 1e-5),
+		into(func(o *tensor.F32) { tensor.LayerNormRowsF32Into(a, gamma, beta, 1e-5, o) }))
+
+	batchM := e.MatMulBatch([]*tensor.F32{a, b}, []*tensor.F32{w, w})
+	check("MatMulBatch[0]", batchM[0], tensor.MatMulF32(a, w))
+	check("MatMulBatch[1]", batchM[1], tensor.MatMulF32(b, w))
+	batchT := e.MatMulTransBBatch([]*tensor.F32{a, b}, []*tensor.F32{k, k})
+	check("MatMulTransBBatch[0]", batchT[0], tensor.MatMulTransBF32(a, k))
+	check("MatMulTransBBatch[1]", batchT[1], tensor.MatMulTransBF32(b, k))
+}
+
+// TestEvalF32StructuralOps exercises the copy/view ops against
+// hand-built expectations.
+func TestEvalF32StructuralOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a64 := tensor.Rand(rng, 4, 6, 1)
+	b64 := tensor.Rand(rng, 4, 6, 1)
+	a, b := f32Of(a64), f32Of(b64)
+
+	e := NewEvalF32()
+	defer e.Reset()
+
+	cr := e.ConcatRows(a, b)
+	if cr.Rows() != 8 || cr.Cols() != 6 {
+		t.Fatalf("ConcatRows shape %v", cr.Shape)
+	}
+	if cr.At(5, 2) != b.At(1, 2) {
+		t.Fatal("ConcatRows content mismatch")
+	}
+
+	cc := e.ConcatCols(a, b)
+	if cc.Rows() != 4 || cc.Cols() != 12 {
+		t.Fatalf("ConcatCols shape %v", cc.Shape)
+	}
+	if cc.At(2, 9) != b.At(2, 3) {
+		t.Fatal("ConcatCols content mismatch")
+	}
+
+	sc := e.SliceCols(a, 1, 4)
+	if sc.Rows() != 4 || sc.Cols() != 3 {
+		t.Fatalf("SliceCols shape %v", sc.Shape)
+	}
+	if sc.At(3, 0) != a.At(3, 1) {
+		t.Fatal("SliceCols content mismatch")
+	}
+
+	rv := e.RowsView(a, 1, 3)
+	if rv.Rows() != 2 || rv.Cols() != 6 {
+		t.Fatalf("RowsView shape %v", rv.Shape)
+	}
+	if &rv.Data[0] != &a.Data[6] {
+		t.Fatal("RowsView is not a zero-copy view")
+	}
+
+	g := e.Gather(a, []int{2, 0, 2})
+	if g.Rows() != 3 || g.At(0, 4) != a.At(2, 4) || g.At(1, 4) != a.At(0, 4) {
+		t.Fatal("Gather content mismatch")
+	}
+}
+
+// TestEvalF32LinearInt8 checks the session-owned scratch path against a
+// direct MatMulInt8Into call, bitwise, and that the scratch is grown
+// once and reused.
+func TestEvalF32LinearInt8(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := f32Of(tensor.RandNorm(rng, 6, 24, 1))
+	w := tensor.QuantizeLinear(tensor.Xavier(rng, 24, 10))
+	bias := f32Of(tensor.RandNorm(rng, 1, 10, 1))
+
+	e := NewEvalF32()
+	defer e.Reset()
+
+	got := e.LinearInt8(x, w, bias)
+	want := tensor.NewF32(6, 10)
+	tensor.MatMulInt8Into(x, w, bias, want, make([]int8, 6*24))
+	if !tensor.EqualF32(got, want, 0) {
+		t.Fatal("LinearInt8 diverges from direct MatMulInt8Into")
+	}
+
+	buf := &e.qscratch[0]
+	e.Reset()
+	_ = e.LinearInt8(x, w, bias)
+	if &e.qscratch[0] != buf {
+		t.Fatal("LinearInt8 scratch not reused across Reset")
+	}
+}
+
+// TestEvalF32SteadyStateAllocationFree asserts a warm f32 evaluator
+// runs a forward chain (including an int8 linear) without allocating.
+func TestEvalF32SteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	x := f32Of(tensor.Rand(rng, 4, 16, 1))
+	w := f32Of(tensor.Rand(rng, 16, 16, 1))
+	w8 := tensor.QuantizeLinear(tensor.Xavier(rng, 16, 16))
+	bias := f32Of(tensor.Rand(rng, 1, 16, 1))
+	e := NewEvalF32()
+	chain := func() {
+		h := e.MatMul(x, w)
+		h = e.AddBias(h, bias)
+		h = e.GELU(h)
+		h = e.LinearInt8(h, w8, bias)
+		h = e.SoftmaxRows(h)
+		_ = e.RowsView(h, 0, 2)
+		e.Reset()
+	}
+	chain() // warm the pool and the int8 scratch
+	if allocs := testing.AllocsPerRun(50, chain); allocs > 0 {
+		t.Fatalf("warm EvalF32 chain allocates %.1f times per run", allocs)
+	}
+}
+
+// TestAcquireReleaseEvalF32 checks the process-wide pool hands the
+// evaluator back warm.
+func TestAcquireReleaseEvalF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x := f32Of(tensor.Rand(rng, 3, 8, 1))
+	e := AcquireEvalF32()
+	first := e.Scale(x, 2)
+	ReleaseEvalF32(e)
+	e2 := AcquireEvalF32()
+	defer ReleaseEvalF32(e2)
+	second := e2.Scale(x, 3)
+	if e2 == e && &second.Data[0] != &first.Data[0] {
+		t.Fatal("reacquired evaluator did not reuse its pooled buffer")
+	}
+}

@@ -89,3 +89,40 @@ func store(s *session) {
 	e := AcquireEval()
 	s.e = e
 }
+
+// EvalF32 stands in for ag.EvalF32: the reduced-precision session
+// handle. The analyzer matches by the Acquire<X>/Release<X> naming
+// pair, so the f32 session is covered by the same rule with no
+// analyzer change — these fixtures pin that.
+type EvalF32 struct{ live int }
+
+func AcquireEvalF32() *EvalF32  { return &EvalF32{} }
+func ReleaseEvalF32(e *EvalF32) { e.live = 0 }
+
+// Flagged: f32 session acquired, used, never released.
+func leakF32(work func(*EvalF32) int) int {
+	e := AcquireEvalF32() // want `result of AcquireEvalF32 is never released with ReleaseEvalF32`
+	return work(e)
+}
+
+// Flagged: f32 session leaks on the error path.
+func leakF32OnErrPath(fail bool, work func(*EvalF32) int) int {
+	e := AcquireEvalF32() // want `not released with ReleaseEvalF32 on the return path`
+	if fail {
+		return -1
+	}
+	n := work(e)
+	ReleaseEvalF32(e)
+	return n
+}
+
+// Clean: the release pair is tier-specific — ReleaseEvalF32 for the
+// f32 session, deferred to cover every path.
+func deferredF32(fail bool, work func(*EvalF32) int) int {
+	e := AcquireEvalF32()
+	defer ReleaseEvalF32(e)
+	if fail {
+		return -1
+	}
+	return work(e)
+}

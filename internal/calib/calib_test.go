@@ -1,0 +1,53 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+
+	"mtmlf/internal/nn"
+)
+
+// TestSmokeFleetCalibrationPasses is the in-tree twin of `make
+// calib-smoke`: both lowered tiers must stay inside their default
+// budgets on the deterministic fleet.
+func TestSmokeFleetCalibrationPasses(t *testing.T) {
+	m, qs := SmokeFleet(7, 12)
+	for _, r := range RunAll(m, qs) {
+		t.Log(r.String())
+		if !r.OK() {
+			t.Fatalf("tier %s out of budget:\n%s", r.Precision, r.String())
+		}
+		if r.JoinOrderTotal == 0 {
+			t.Fatalf("tier %s: fleet exercised no multi-join queries", r.Precision)
+		}
+		if r.JoinOrderMatches != r.JoinOrderTotal {
+			t.Fatalf("tier %s: %d/%d join orders matched", r.Precision, r.JoinOrderMatches, r.JoinOrderTotal)
+		}
+	}
+}
+
+// TestBudgetViolationReported forces an impossible budget and checks
+// the report fails loudly rather than clipping.
+func TestBudgetViolationReported(t *testing.T) {
+	m, qs := SmokeFleet(8, 3)
+	r := Run(m, qs, nn.PrecisionInt8, Budget{MaxCardQErr: 1, MaxCostQErr: 1, RequireJoinOrder: true})
+	if r.OK() {
+		t.Skip("int8 tier tracked f64 exactly on this fleet; nothing to assert")
+	}
+	if !strings.Contains(r.String(), "FAIL") || !strings.Contains(r.String(), "violation") {
+		t.Fatalf("failing report does not render violations:\n%s", r.String())
+	}
+}
+
+// TestDefaultBudgets pins the shipping budgets so a silent loosening
+// shows up in review.
+func TestDefaultBudgets(t *testing.T) {
+	f32 := DefaultBudget(nn.PrecisionF32)
+	if f32.MaxCardQErr != 1.05 || !f32.RequireJoinOrder {
+		t.Fatalf("f32 budget changed: %+v", f32)
+	}
+	int8 := DefaultBudget(nn.PrecisionInt8)
+	if int8.MaxCardQErr != 2.0 || !int8.RequireJoinOrder {
+		t.Fatalf("int8 budget changed: %+v", int8)
+	}
+}

@@ -1,0 +1,95 @@
+// Reduced-precision replica of the (F) module for serving.
+//
+// Lowering keeps only the serving surface of each Enc_i — the CLS
+// token, the token projection, and the transformer — and drops the
+// single-table pre-training Head, which never runs at serve time. The
+// raw FilterToken features stay float64 (they are exact featurization
+// outputs, cheap, and shared with the reference path) and are rounded
+// to float32 at the projection input.
+package featurize
+
+import (
+	"fmt"
+	"sort"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
+)
+
+// TableEncoderF32 is a lowered Enc_i serving replica.
+type TableEncoderF32 struct {
+	Proj *nn.LinearF32
+	CLS  *tensor.F32
+	Enc  *nn.EncoderF32
+}
+
+// Bytes returns the resident weight bytes of the lowered encoder.
+func (e *TableEncoderF32) Bytes() int {
+	return e.Proj.Bytes() + e.CLS.Bytes() + e.Enc.Bytes()
+}
+
+// FeaturizerF32 pairs a source featurizer (for the raw FilterToken
+// pipeline and the statistics) with lowered per-table encoders.
+type FeaturizerF32 struct {
+	Src  *Featurizer
+	Encs map[string]*TableEncoderF32
+}
+
+// Lower builds a reduced-precision serving replica of f at precision p.
+func (f *Featurizer) Lower(p nn.Precision) *FeaturizerF32 {
+	lf := &FeaturizerF32{Src: f, Encs: make(map[string]*TableEncoderF32, len(f.Encs))}
+	for _, name := range f.tableNames() {
+		enc := f.Encs[name]
+		lf.Encs[name] = &TableEncoderF32{
+			Proj: nn.LowerLinear(enc.Proj, p),
+			CLS:  tensor.F32FromTensor(enc.CLS.T),
+			Enc:  nn.LowerEncoder(enc.Enc, p),
+		}
+	}
+	return lf
+}
+
+// tableNames returns the encoder map's keys in sorted order (map
+// iteration is forbidden in determinism-critical packages).
+func (f *Featurizer) tableNames() []string {
+	names := make([]string, 0, len(f.Encs))
+	for name := range f.Encs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EncodeTableInfer is the lowered twin of Featurizer.EncodeTableInfer:
+// Enc_i over the filters applying to one table, returning a [1, Dim]
+// row owned by e.
+func (f *FeaturizerF32) EncodeTableInfer(e *ag.EvalF32, table string, filters []sqldb.Filter) *tensor.F32 {
+	enc, ok := f.Encs[table]
+	if !ok {
+		panic(fmt.Sprintf("featurize: unknown table %q", table))
+	}
+	seq := enc.CLS
+	if len(filters) > 0 {
+		raw := e.Get(len(filters), f.Src.Cfg.TokenWidth())
+		for i, flt := range filters {
+			row := raw.Row(i)
+			for j, v := range f.Src.FilterToken(flt) {
+				row[j] = float32(v)
+			}
+		}
+		seq = e.ConcatRows(enc.CLS, enc.Proj.Infer(e, raw))
+	}
+	out := enc.Enc.Infer(e, seq, nil)
+	return e.RowsView(out, 0, 1)
+}
+
+// Bytes returns the resident weight bytes of all lowered encoders.
+func (f *FeaturizerF32) Bytes() int {
+	n := 0
+	for _, name := range f.Src.tableNames() {
+		n += f.Encs[name].Bytes()
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+// Reduced-precision serving replica of the model (DESIGN.md §9).
+//
+// LoweredModel mirrors the I→F→S→T inference dataflow on ag.EvalF32
+// with f32 (or int8-weight) kernels for the featurizer, serializer,
+// Trans_Share and the card/cost heads. The Trans_JO decoder stays at
+// float64 on purpose: beam search threads KV state through the f64
+// fast path, argmax join orders are the one output calibration demands
+// be *identical* (not merely close) to the reference, and the decoder
+// is ~a quarter of the parameters — so a lowered model up-converts its
+// tiny [m, Dim] memory once per query and decodes at full precision.
+// The resident-byte win is documented and tested: an int8 replica
+// (weights int8, decoder f64) is well under half the f64 model.
+//
+// A replica references its source Model (statistics, raw featurization
+// and the f64 decoder) and is rebuilt from it on reload; it holds no
+// state of its own beyond the lowered weights.
+package mtmlf
+
+import (
+	"fmt"
+	"math"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/featurize"
+	"mtmlf/internal/nn"
+	"mtmlf/internal/plan"
+	"mtmlf/internal/sqldb"
+	"mtmlf/internal/tensor"
+	"mtmlf/internal/workload"
+)
+
+// LoweredModel is a reduced-precision inference replica of a Model.
+type LoweredModel struct {
+	Precision nn.Precision
+	Src       *Model
+	// Lowered (F.iii) serializer + (S) + card/cost (T) modules.
+	NodeProj *nn.LinearF32
+	TreePos  *nn.TreePositionalEncoderF32
+	JoinEmb  *nn.EmbeddingF32
+	Share    *nn.EncoderF32
+	CardHead *nn.MLPF32
+	CostHead *nn.MLPF32
+	// Lowered per-table featurizer encoders.
+	Feat *featurize.FeaturizerF32
+}
+
+// Lower builds a reduced-precision serving replica of m. p must be
+// PrecisionF32 or PrecisionInt8; the f64 tier serves from m itself.
+func (m *Model) Lower(p nn.Precision) *LoweredModel {
+	if p == nn.PrecisionF64 {
+		panic("mtmlf: Lower(PrecisionF64) — serve the source model directly")
+	}
+	s := m.Shared
+	return &LoweredModel{
+		Precision: p,
+		Src:       m,
+		NodeProj:  nn.LowerLinear(s.NodeProj, p),
+		TreePos:   nn.LowerTreePositionalEncoder(s.TreePos, p),
+		JoinEmb:   nn.LowerEmbedding(s.JoinEmb),
+		Share:     nn.LowerEncoder(s.Share, p),
+		CardHead:  nn.LowerMLP(s.CardHead, p),
+		CostHead:  nn.LowerMLP(s.CostHead, p),
+		Feat:      m.Feat.Lower(p),
+	}
+}
+
+// InferRepF32 is the lowered counterpart of InferRep: tensors owned by
+// the evaluator that produced them (valid until its Reset).
+type InferRepF32 struct {
+	// S holds the shared representation, one row per plan node in
+	// post-order.
+	S *tensor.F32
+	// Memory holds the leaf rows of S in q.Tables order.
+	Memory *tensor.F32
+	// Tables is the memory row order (== q.Tables).
+	Tables []string
+}
+
+// RepresentInfer runs the I→F→S dataflow on the EvalF32 fast path,
+// mirroring Model.RepresentInfer op for op at reduced precision.
+func (lm *LoweredModel) RepresentInfer(e *ag.EvalF32, q *sqldb.Query, p *plan.Node) *InferRepF32 {
+	cfg := lm.Src.Shared.Cfg
+	db := lm.Src.Feat.DB
+	if len(db.Tables) > cfg.MaxTables {
+		panic(fmt.Sprintf("mtmlf: database has %d tables, model supports %d", len(db.Tables), cfg.MaxTables))
+	}
+	nodes := p.Nodes()
+	paths := p.Paths()
+
+	fixedW := cfg.MaxTables + plan.NumScanOps + plan.NumJoinOps + 2
+	rows := make([]*tensor.F32, len(nodes))
+	leafRow := map[string]int{}
+	for i, n := range nodes {
+		fixed := e.Get(1, fixedW)
+		for _, t := range n.Tables() {
+			idx := db.TableIndex(t)
+			if idx < 0 {
+				panic(fmt.Sprintf("mtmlf: plan references unknown table %q", t))
+			}
+			fixed.Data[idx] = 1
+		}
+		estCard := lm.Src.Feat.Stats.EstimateSubplanCard(n.Tables(), q)
+		fixed.Data[fixedW-1] = float32(math.Log(estCard+1) / 20)
+		var embPart *tensor.F32
+		if n.IsLeaf() {
+			fixed.Data[cfg.MaxTables+int(n.Scan)] = 1
+			embPart = lm.Feat.EncodeTableInfer(e, n.Table, q.FiltersFor(n.Table))
+			leafRow[n.Table] = i
+		} else {
+			fixed.Data[cfg.MaxTables+plan.NumScanOps+int(n.Join)] = 1
+			fixed.Data[fixedW-2] = 1 // isJoin flag
+			embPart = lm.JoinEmb.Infer(e, []int{int(n.Join)})
+		}
+		rows[i] = e.ConcatCols(fixed, embPart)
+	}
+	raw := e.ConcatRows(rows...)
+	x := lm.NodeProj.Infer(e, raw)
+
+	tp := make([]nn.TreePath, len(paths))
+	for i, p := range paths {
+		tp[i] = nn.TreePath(p)
+	}
+	x = e.Add(x, lm.TreePos.Infer(e, tp))
+
+	S := lm.Share.Infer(e, x, nil)
+
+	mem := e.Get(len(q.Tables), cfg.Dim)
+	for i, t := range q.Tables {
+		ri, ok := leafRow[t]
+		if !ok {
+			panic(fmt.Sprintf("mtmlf: query table %q missing from plan", t))
+		}
+		copy(mem.Row(i), S.Row(ri))
+	}
+	return &InferRepF32{S: S, Memory: mem, Tables: append([]string{}, q.Tables...)}
+}
+
+// PredictLogCardsInfer returns the per-node log-cardinality
+// predictions at reduced precision.
+func (lm *LoweredModel) PredictLogCardsInfer(e *ag.EvalF32, rep *InferRepF32) *tensor.F32 {
+	return lm.CardHead.Infer(e, rep.S)
+}
+
+// PredictLogCostsInfer returns the per-node log-cost predictions at
+// reduced precision.
+func (lm *LoweredModel) PredictLogCostsInfer(e *ag.EvalF32, rep *InferRepF32) *tensor.F32 {
+	return lm.CostHead.Infer(e, rep.S)
+}
+
+// ExpClamp32 maps f32 log-space head outputs to float64 estimates with
+// exactly ExpClamp's semantics: exponent clamped at 40, floored at 1.
+func ExpClamp32(logs []float32) []float64 {
+	out := make([]float64, len(logs))
+	for i, v := range logs {
+		x := float64(v)
+		if x > 40 {
+			x = 40
+		}
+		e := math.Exp(x)
+		if e < 1 {
+			e = 1
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// EstimateNodeCards runs lowered inference and returns per-node
+// cardinality estimates (exponentiated, clamped to >= 1).
+func (lm *LoweredModel) EstimateNodeCards(lq *workload.LabeledQuery) []float64 {
+	e := ag.AcquireEvalF32()
+	defer ag.ReleaseEvalF32(e)
+	rep := lm.RepresentInfer(e, lq.Q, lq.Plan)
+	return ExpClamp32(lm.PredictLogCardsInfer(e, rep).Data)
+}
+
+// EstimateNodeCosts runs lowered inference and returns per-node cost
+// estimates.
+func (lm *LoweredModel) EstimateNodeCosts(lq *workload.LabeledQuery) []float64 {
+	e := ag.AcquireEvalF32()
+	defer ag.ReleaseEvalF32(e)
+	rep := lm.RepresentInfer(e, lq.Q, lq.Plan)
+	return ExpClamp32(lm.PredictLogCostsInfer(e, rep).Data)
+}
+
+// EstimateRoot returns the root cardinality and cost estimates in one
+// lowered forward pass.
+func (lm *LoweredModel) EstimateRoot(lq *workload.LabeledQuery) (card, costv float64) {
+	e := ag.AcquireEvalF32()
+	defer ag.ReleaseEvalF32(e)
+	rep := lm.RepresentInfer(e, lq.Q, lq.Plan)
+	cards := ExpClamp32(lm.PredictLogCardsInfer(e, rep).Data)
+	costs := ExpClamp32(lm.PredictLogCostsInfer(e, rep).Data)
+	return cards[len(cards)-1], costs[len(costs)-1]
+}
+
+// InferJoinOrder predicts the join order end to end: lowered
+// representation, then the [m, Dim] memory is up-converted once and
+// decoded by the source model's float64 Trans_JO (see the package
+// comment for why the decoder is not lowered).
+func (lm *LoweredModel) InferJoinOrder(q *sqldb.Query, p *plan.Node) []string {
+	e := ag.AcquireEvalF32()
+	defer ag.ReleaseEvalF32(e)
+	rep := lm.RepresentInfer(e, q, p)
+	mem := rep.Memory.ToTensor()
+	best, ok := BestBeam(lm.Src.Shared.JO.BeamSearchTensor(mem, q, lm.Src.Shared.Cfg.BeamWidth, true))
+	if !ok {
+		return nil
+	}
+	return best.OrderTables(rep.Tables)
+}
+
+// ParamBytes returns the resident parameter bytes of the replica: the
+// lowered weights plus the float64 Trans_JO decoder it shares with the
+// source model.
+func (lm *LoweredModel) ParamBytes() int {
+	n := lm.NodeProj.Bytes() + lm.TreePos.Bytes() + lm.JoinEmb.Bytes() +
+		lm.Share.Bytes() + lm.CardHead.Bytes() + lm.CostHead.Bytes() + lm.Feat.Bytes()
+	for _, p := range lm.Src.Shared.JO.Params() {
+		n += 8 * p.T.Size()
+	}
+	return n
+}
+
+// ParamBytes returns the resident parameter bytes of the float64
+// model (8 bytes per scalar) — the baseline the lowered replicas are
+// sized against.
+func (m *Model) ParamBytes() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += 8 * p.T.Size()
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package mtmlf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mtmlf/internal/nn"
+)
+
+// qerr returns the q-error max(a/b, b/a) of two positive estimates.
+func qerr(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}
+
+// TestLoweredEstimatesTrackReference bounds the end-to-end model-level
+// q-error of each lowered tier against the float64 reference — the
+// per-model precursor of the corpus-level calibration harness.
+func TestLoweredEstimatesTrackReference(t *testing.T) {
+	m, qs := tinySetup(t, 51, 4)
+	for _, tc := range []struct {
+		p      nn.Precision
+		budget float64
+	}{
+		{nn.PrecisionF32, 1.01},
+		{nn.PrecisionInt8, 1.5},
+	} {
+		lm := m.Lower(tc.p)
+		for _, lq := range qs {
+			refCard, refCost := m.EstimateRoot(lq)
+			gotCard, gotCost := lm.EstimateRoot(lq)
+			if q := qerr(gotCard, refCard); q > tc.budget {
+				t.Fatalf("%v card q-error %.4f exceeds %.2f (got %g, ref %g)", tc.p, q, tc.budget, gotCard, refCard)
+			}
+			if q := qerr(gotCost, refCost); q > tc.budget {
+				t.Fatalf("%v cost q-error %.4f exceeds %.2f (got %g, ref %g)", tc.p, q, tc.budget, gotCost, refCost)
+			}
+		}
+	}
+}
+
+// TestLoweredJoinOrderMatchesReference asserts the decode-at-f64
+// design holds up: both lowered tiers return the identical argmax join
+// order as the reference model on every fixture query.
+func TestLoweredJoinOrderMatchesReference(t *testing.T) {
+	m, qs := tinySetup(t, 52, 4)
+	for _, p := range []nn.Precision{nn.PrecisionF32, nn.PrecisionInt8} {
+		lm := m.Lower(p)
+		for _, lq := range qs {
+			if len(lq.Q.Tables) < 2 {
+				continue
+			}
+			ref := m.InferJoinOrder(lq.Q, lq.Plan)
+			got := lm.InferJoinOrder(lq.Q, lq.Plan)
+			if strings.Join(ref, ",") != strings.Join(got, ",") {
+				t.Fatalf("%v join order %v differs from reference %v", p, got, ref)
+			}
+		}
+	}
+}
+
+// TestLoweredParamBytes pins the memory-sizing claims: f32 halves the
+// resident model bytes apart from the f64 decoder, and int8 is at most
+// half of the float64 model overall (the PR's acceptance criterion).
+func TestLoweredParamBytes(t *testing.T) {
+	m, _ := tinySetup(t, 53, 1)
+	f64Bytes := m.ParamBytes()
+	f32Bytes := m.Lower(nn.PrecisionF32).ParamBytes()
+	int8Bytes := m.Lower(nn.PrecisionInt8).ParamBytes()
+	if f32Bytes >= f64Bytes {
+		t.Fatalf("f32 replica %d bytes not smaller than f64 %d", f32Bytes, f64Bytes)
+	}
+	if 2*int8Bytes > f64Bytes {
+		t.Fatalf("int8 replica %d bytes more than half of f64 %d", int8Bytes, f64Bytes)
+	}
+	if int8Bytes >= f32Bytes {
+		t.Fatalf("int8 replica %d bytes not smaller than f32 %d", int8Bytes, f32Bytes)
+	}
+}
+
+// TestExpClamp32MatchesExpClamp asserts the f32 clamp matches the
+// float64 semantics exactly on the same (f64-valued) inputs.
+func TestExpClamp32MatchesExpClamp(t *testing.T) {
+	in32 := []float32{-5, 0, 0.5, 39.5, 41, 100}
+	in64 := make([]float64, len(in32))
+	for i, v := range in32 {
+		in64[i] = float64(v)
+	}
+	got := ExpClamp32(in32)
+	want := ExpClamp(in64)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0 {
+			t.Fatalf("element %d: ExpClamp32 %v, ExpClamp %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/tensor"
+)
+
+// relErr is |got-want| / max(1e-6, |want|).
+func relErr(got float32, want float64) float64 {
+	d := math.Abs(float64(got) - want)
+	m := math.Abs(want)
+	if m < 1e-6 {
+		m = 1e-6
+	}
+	return d / m
+}
+
+func maxRelErr(t *testing.T, name string, got *tensor.F32, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: shape mismatch %v vs %v", name, got.Shape, want.Shape)
+	}
+	worst := 0.0
+	for i := range want.Data {
+		if e := relErr(got.Data[i], want.Data[i]); e > worst {
+			worst = e
+		}
+	}
+	if worst > tol {
+		t.Fatalf("%s: max relative error %.3g exceeds %.3g", name, worst, tol)
+	}
+}
+
+// TestLowerRoundTripF32 pins the f64 -> f32 -> f64 weight round trip
+// per layer type: every lowered weight re-raised to float64 is within
+// one float32 ulp of the original (relative 2^-24).
+func TestLowerRoundTripF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const ulp32 = 1.0 / (1 << 24)
+
+	checkTensor := func(name string, lowered *tensor.F32, orig *tensor.Tensor) {
+		t.Helper()
+		back := lowered.ToTensor()
+		for i := range orig.Data {
+			if d := math.Abs(back.Data[i] - orig.Data[i]); d > math.Abs(orig.Data[i])*ulp32 {
+				t.Fatalf("%s element %d: round-trip error %g exceeds one f32 ulp", name, i, d)
+			}
+		}
+	}
+
+	lin := NewLinear(rng, 24, 16)
+	lf := LowerLinear(lin, PrecisionF32)
+	checkTensor("Linear.W", lf.W, lin.W.T)
+	checkTensor("Linear.B", lf.B, lin.B.T)
+
+	ln := NewLayerNorm(16)
+	lnf := LowerLayerNorm(ln)
+	checkTensor("LayerNorm.Gamma", lnf.Gamma, ln.Gamma.T)
+	checkTensor("LayerNorm.Beta", lnf.Beta, ln.Beta.T)
+	if lnf.Eps != ln.Eps {
+		t.Fatal("LayerNorm.Eps not preserved")
+	}
+
+	emb := NewEmbedding(rng, 12, 16)
+	checkTensor("Embedding.W", LowerEmbedding(emb).W, emb.W.T)
+
+	mlp := NewMLP(rng, ActGELU, 16, 32, 16)
+	mf := LowerMLP(mlp, PrecisionF32)
+	for i, l := range mf.Layers {
+		checkTensor("MLP layer W", l.W, mlp.Layers[i].W.T)
+	}
+}
+
+// TestLowerInt8WeightBound is the layer-level int8 property test: the
+// dequantized weight of a lowered Linear never deviates from the
+// original by more than scale/2 per element, and the resident bytes
+// are under half the float64 layer.
+func TestLowerInt8WeightBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	lin := NewLinear(rng, 48, 32)
+	lf := LowerLinear(lin, PrecisionInt8)
+	if lf.W != nil || lf.W8 == nil {
+		t.Fatal("int8 lowering kept f32 weights")
+	}
+	deq := lf.W8.Dequantize()
+	for j := 0; j < 32; j++ {
+		scale := float64(lf.W8.Scales[j])
+		for l := 0; l < 48; l++ {
+			if d := math.Abs(lin.W.T.At(l, j) - deq.At(l, j)); d > scale/2+scale*1e-6 {
+				t.Fatalf("w[%d,%d]: error %g > scale/2 %g", l, j, d, scale/2)
+			}
+		}
+	}
+	f64Bytes := 8 * (lin.W.T.Size() + lin.B.T.Size())
+	if lf.Bytes()*2 > f64Bytes {
+		t.Fatalf("int8 layer bytes %d not under half of f64 %d", lf.Bytes(), f64Bytes)
+	}
+}
+
+// TestLoweredLayersTrackFloat64 runs every lowered layer type against
+// its f64 twin on the same inputs and bounds the relative output error
+// — the per-layer calibration contract the end-to-end q-error budgets
+// build on.
+func TestLoweredLayersTrackFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x64 := tensor.Rand(rng, 7, 16, 1)
+	x32 := tensor.F32FromTensor(x64)
+
+	e64 := ag.NewEval()
+	defer e64.Reset()
+	e32 := ag.NewEvalF32()
+	defer e32.Reset()
+
+	lin := NewLinear(rng, 16, 16)
+	maxRelErr(t, "Linear/f32", LowerLinear(lin, PrecisionF32).Infer(e32, x32), lin.Infer(e64, x64), 1e-4)
+
+	ln := NewLayerNorm(16)
+	maxRelErr(t, "LayerNorm/f32", LowerLayerNorm(ln).Infer(e32, x32), ln.Infer(e64, x64), 1e-3)
+
+	emb := NewEmbedding(rng, 12, 16)
+	ids := []int{3, 0, 11}
+	maxRelErr(t, "Embedding/f32", LowerEmbedding(emb).Infer(e32, ids), emb.Infer(e64, ids), 1e-6)
+
+	mlp := NewMLP(rng, ActGELU, 16, 32, 16)
+	maxRelErr(t, "MLP/f32", LowerMLP(mlp, PrecisionF32).Infer(e32, x32), mlp.Infer(e64, x64), 1e-3)
+
+	mha := NewMultiHeadAttention(rng, 16, 2)
+	maxRelErr(t, "MHA/f32", LowerMultiHeadAttention(mha, PrecisionF32).Infer(e32, x32, x32, nil),
+		mha.Infer(e64, x64, x64, nil), 1e-3)
+
+	encl := NewEncoderLayer(rng, 16, 2)
+	maxRelErr(t, "EncoderLayer/f32", LowerEncoderLayer(encl, PrecisionF32).Infer(e32, x32, nil),
+		encl.Infer(e64, x64, nil), 1e-2)
+
+	enc := NewEncoder(rng, 16, 2, 2)
+	maxRelErr(t, "Encoder/f32", LowerEncoder(enc, PrecisionF32).Infer(e32, x32, nil),
+		enc.Infer(e64, x64, nil), 1e-2)
+
+	tp := NewTreePositionalEncoder(rng, 6, 16)
+	paths := []TreePath{{}, {0}, {0, 1}, {1, 1, 0}}
+	maxRelErr(t, "TreePos/f32", LowerTreePositionalEncoder(tp, PrecisionF32).Infer(e32, paths),
+		tp.Infer(e64, paths), 1e-4)
+}
+
+// TestLoweredEncoderInt8TracksFloat64 bounds the int8 tier at the
+// encoder level with the looser absolute budget calibration assigns it.
+func TestLoweredEncoderInt8TracksFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	x64 := tensor.Rand(rng, 7, 16, 1)
+	x32 := tensor.F32FromTensor(x64)
+
+	e64 := ag.NewEval()
+	defer e64.Reset()
+	e32 := ag.NewEvalF32()
+	defer e32.Reset()
+
+	enc := NewEncoder(rng, 16, 2, 2)
+	got := LowerEncoder(enc, PrecisionInt8).Infer(e32, x32, nil)
+	want := enc.Infer(e64, x64, nil)
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i]) - want.Data[i]); d > 0.25 {
+			t.Fatalf("int8 encoder element %d: |%v - %v| = %g", i, got.Data[i], want.Data[i], d)
+		}
+	}
+}
+
+// TestParsePrecision covers the flag surface.
+func TestParsePrecision(t *testing.T) {
+	for s, want := range map[string]Precision{"f64": PrecisionF64, "f32": PrecisionF32, "int8": PrecisionInt8} {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("Precision(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParsePrecision("bf16"); err == nil {
+		t.Fatal("ParsePrecision accepted unknown tier")
+	}
+}

@@ -58,7 +58,7 @@ var (
 // would make the model layer panic (plus a few that would silently
 // degrade, like filters on tables the query doesn't touch).
 func (e *Engine) Validate(q *sqldb.Query, p *plan.Node) error {
-	m := e.model.Load()
+	m := e.cur.Load().model
 	db := m.Feat.DB
 	if q == nil {
 		return fmt.Errorf("%w: nil query", ErrBadRequest)

@@ -170,7 +170,7 @@ func newIdleEngine(t *testing.T, m *mtmlf.Model, opts Options) *Engine {
 		stats: newStats(opts.Sessions),
 		quit:  make(chan struct{}),
 	}
-	e.model.Store(m)
+	e.cur.Store(newServed(m, opts.Precision))
 	return e
 }
 

@@ -60,6 +60,7 @@ import (
 
 	"mtmlf/internal/ag"
 	"mtmlf/internal/mtmlf"
+	"mtmlf/internal/nn"
 	"mtmlf/internal/plan"
 	"mtmlf/internal/sqldb"
 	"mtmlf/internal/tensor"
@@ -86,6 +87,14 @@ type Options struct {
 	// fails fast with ErrOverloaded (the right call for an HTTP front
 	// end, which maps it to 429).
 	ShedOverload bool
+	// Precision selects the serving tier (DESIGN.md §9). The zero
+	// value serves the float64 reference path; PrecisionF32 and
+	// PrecisionInt8 serve a lowered replica built at engine
+	// construction (and rebuilt on every Reload). Reduced tiers trade
+	// calibrated accuracy — q-error budgets enforced by internal/calib
+	// — for throughput and resident bytes; join orders are decoded at
+	// f64 in every tier.
+	Precision nn.Precision
 }
 
 func (o Options) withDefaults() Options {
@@ -173,13 +182,32 @@ func (r *request) expired(now time.Time) bool {
 	return !r.deadline.IsZero() && !now.Before(r.deadline)
 }
 
+// served bundles everything one micro-batch needs to be consistent: a
+// model and (at reduced precision) the replica lowered from it. A
+// Reload builds a fresh bundle and swaps the one pointer, so a batch
+// that snapshotted the old bundle keeps a matching model/replica pair.
+type served struct {
+	model *mtmlf.Model
+	// lowered is the reduced-precision replica (nil at PrecisionF64).
+	lowered *mtmlf.LoweredModel
+}
+
+// newServed lowers m to p (a no-op bundle at PrecisionF64).
+func newServed(m *mtmlf.Model, p nn.Precision) *served {
+	s := &served{model: m}
+	if p != nn.PrecisionF64 {
+		s.lowered = m.Lower(p)
+	}
+	return s
+}
+
 // Engine is the concurrent serving front end over one hot-swappable
 // model. Safe for concurrent use by any number of goroutines.
 type Engine struct {
-	// model is the currently served model. Workers snapshot it once
-	// per micro-batch, so a Reload never mixes weights inside one
+	// cur is the currently served model bundle. Workers snapshot it
+	// once per micro-batch, so a Reload never mixes weights inside one
 	// response (or one batch).
-	model atomic.Pointer[mtmlf.Model]
+	cur   atomic.Pointer[served]
 	opts  Options
 	reqs  chan *request
 	stats *stats
@@ -203,7 +231,7 @@ func NewEngine(m *mtmlf.Model, opts Options) (*Engine, error) {
 		stats: newStats(opts.Sessions),
 		quit:  make(chan struct{}),
 	}
-	e.model.Store(m)
+	e.cur.Store(newServed(m, opts.Precision))
 	e.wg.Add(opts.Sessions)
 	for i := 0; i < opts.Sessions; i++ {
 		go e.worker()
@@ -233,11 +261,13 @@ func (e *Engine) Reload(m *mtmlf.Model) error {
 	if err := checkModel(m); err != nil {
 		return err
 	}
-	old := e.model.Load()
-	if err := sameTables(old.Feat.DB, m.Feat.DB); err != nil {
+	old := e.cur.Load()
+	if err := sameTables(old.model.Feat.DB, m.Feat.DB); err != nil {
 		return err
 	}
-	e.model.Store(m)
+	// Re-lower before the swap: the engine's precision is fixed at
+	// construction, so the new weights must arrive already lowered.
+	e.cur.Store(newServed(m, e.opts.Precision))
 	e.stats.recordReload()
 	return nil
 }
@@ -262,11 +292,25 @@ func sameTables(old, new *sqldb.DB) error {
 
 // Model returns the currently served model (read-only; may change
 // across calls if Reload runs concurrently).
-func (e *Engine) Model() *mtmlf.Model { return e.model.Load() }
+func (e *Engine) Model() *mtmlf.Model { return e.cur.Load().model }
+
+// Precision returns the serving tier the engine was built with.
+func (e *Engine) Precision() nn.Precision { return e.opts.Precision }
+
+// LoweredParamBytes returns the resident parameter bytes of whatever
+// is actually answering requests: the lowered replica at reduced
+// precision, the float64 model otherwise.
+func (e *Engine) LoweredParamBytes() int {
+	s := e.cur.Load()
+	if s.lowered != nil {
+		return s.lowered.ParamBytes()
+	}
+	return s.model.ParamBytes()
+}
 
 // DB returns the served database schema (read-only; stable across
 // reloads by the Reload contract).
-func (e *Engine) DB() *sqldb.DB { return e.model.Load().Feat.DB }
+func (e *Engine) DB() *sqldb.DB { return e.cur.Load().model.Feat.DB }
 
 // Close stops the workers. In-flight requests finish; subsequent
 // calls return ErrClosed.
@@ -395,7 +439,7 @@ func (e *Engine) worker() {
 		if !e.admit(first) {
 			continue
 		}
-		e.runBatch(e.model.Load(), e.fill(first))
+		e.runBatch(e.cur.Load(), e.fill(first))
 	}
 }
 
@@ -457,10 +501,15 @@ func (e *Engine) fill(first *request) []*request {
 }
 
 // runBatch serves one micro-batch inside one inference session
-// against one model snapshot. The session's Eval (and every pooled
-// tensor of the batch) is released at the end — see DESIGN.md
-// "Session ownership".
-func (e *Engine) runBatch(m *mtmlf.Model, batch []*request) {
+// against one model-bundle snapshot, dispatching on the serving tier.
+// The session's evaluator (and every pooled tensor of the batch) is
+// released at the end — see DESIGN.md "Session ownership".
+func (e *Engine) runBatch(s *served, batch []*request) {
+	if s.lowered != nil {
+		e.runBatchF32(s.lowered, batch)
+		return
+	}
+	m := s.model
 	ev := ag.AcquireEval()
 	defer ag.ReleaseEval(ev)
 
@@ -473,6 +522,27 @@ func (e *Engine) runBatch(m *mtmlf.Model, batch []*request) {
 	for i, r := range batch {
 		if r.ep == EndpointJoinOrder && reps[i] != nil {
 			e.runJoinOrder(m, r, reps[i])
+		}
+	}
+	e.stats.recordBatch(len(batch))
+}
+
+// runBatchF32 is runBatch's reduced-precision twin: same fused-head
+// batching, same panic/delivery discipline, running on the EvalF32
+// session over the lowered replica.
+func (e *Engine) runBatchF32(lm *mtmlf.LoweredModel, batch []*request) {
+	ev := ag.AcquireEvalF32()
+	defer ag.ReleaseEvalF32(ev)
+
+	reps := make([]*mtmlf.InferRepF32, len(batch))
+	for i, r := range batch {
+		reps[i] = e.representF32(lm, ev, r)
+	}
+	e.runHeadsF32(lm, ev, EndpointCard, batch, reps)
+	e.runHeadsF32(lm, ev, EndpointCost, batch, reps)
+	for i, r := range batch {
+		if r.ep == EndpointJoinOrder && reps[i] != nil {
+			e.runJoinOrderF32(lm, r, reps[i])
 		}
 	}
 	e.stats.recordBatch(len(batch))
@@ -540,6 +610,84 @@ func (e *Engine) runHeads(m *mtmlf.Model, ev *ag.Eval, ep Endpoint, batch []*req
 	}
 }
 
+// representF32 is represent's reduced-precision twin.
+func (e *Engine) representF32(lm *mtmlf.LoweredModel, ev *ag.EvalF32, r *request) (rep *mtmlf.InferRepF32) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = nil
+			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
+		}
+	}()
+	return lm.RepresentInfer(ev, r.q, r.p)
+}
+
+// runHeadsF32 fuses one lowered head over every batch request of the
+// given kind, with the same delivered-counting panic backstop as
+// runHeads. ExpClamp32 copies into fresh float64 slices, so no pooled
+// f32 memory escapes the session.
+func (e *Engine) runHeadsF32(lm *mtmlf.LoweredModel, ev *ag.EvalF32, ep Endpoint, batch []*request, reps []*mtmlf.InferRepF32) {
+	var idx []int
+	var ss []*tensor.F32
+	for i, r := range batch {
+		if r.ep == ep && reps[i] != nil {
+			idx = append(idx, i)
+			ss = append(ss, reps[i].S)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	delivered := 0
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("%w: %v", ErrInternal, p)
+			for _, i := range idx[delivered:] {
+				batch[i].done <- result{err: err}
+			}
+		}
+	}()
+	fused := ss[0]
+	if len(ss) > 1 {
+		fused = ev.ConcatRows(ss...)
+	}
+	head := lm.CardHead
+	if ep == EndpointCost {
+		head = lm.CostHead
+	}
+	out := head.Infer(ev, fused) // [total nodes, 1]
+	row := 0
+	for _, i := range idx {
+		nRows := reps[i].S.Rows()
+		batch[i].done <- result{nodes: mtmlf.ExpClamp32(out.Data[row : row+nRows])}
+		delivered++
+		row += nRows
+	}
+}
+
+// runJoinOrderF32 serves one join-order request from a lowered
+// representation: the [m, Dim] memory is up-converted once and decoded
+// by the source model's float64 Trans_JO (join orders are identical
+// across tiers by the calibration contract, not merely close).
+func (e *Engine) runJoinOrderF32(lm *mtmlf.LoweredModel, r *request, rep *mtmlf.InferRepF32) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.done <- result{err: fmt.Errorf("%w: %v", ErrInternal, p)}
+		}
+	}()
+	mem := rep.Memory.ToTensor()
+	res := lm.Src.Shared.JO.BeamSearchTensor(mem, r.q, lm.Src.Shared.Cfg.BeamWidth, true)
+	best, ok := mtmlf.BestBeam(res)
+	if !ok {
+		r.done <- result{err: fmt.Errorf("%w: join graph admits no connected order", ErrNoJoinOrder)}
+		return
+	}
+	r.done <- result{order: JoinOrderResult{
+		Order:   best.OrderTables(rep.Tables),
+		LogProb: best.LogProb,
+		Legal:   best.Legal,
+	}}
+}
+
 // runJoinOrder serves one join-order request from its representation
 // (KV-cached constrained beam search, same as the serial fast path).
 func (e *Engine) runJoinOrder(m *mtmlf.Model, r *request, rep *mtmlf.InferRep) {
@@ -563,5 +711,7 @@ func (e *Engine) runJoinOrder(m *mtmlf.Model, r *request, rep *mtmlf.InferRep) {
 
 // Stats returns a snapshot of the engine's serving metrics.
 func (e *Engine) Stats() StatsSnapshot {
-	return e.stats.snapshot(len(e.reqs), e.opts.QueueDepth)
+	snap := e.stats.snapshot(len(e.reqs), e.opts.QueueDepth)
+	snap.Precision = e.opts.Precision.String()
+	return snap
 }

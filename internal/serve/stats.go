@@ -128,8 +128,12 @@ type PoolStats struct {
 type StatsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Sessions      int     `json:"sessions"`
-	Requests      uint64  `json:"requests"`
-	Errors        uint64  `json:"errors"`
+	// Precision is the serving tier ("f64", "f32", "int8") — fixed at
+	// engine construction, so operators can confirm which replica a
+	// process is answering with.
+	Precision string `json:"precision"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
 	// Shed counts 429-rejected requests (queue full under
 	// ShedOverload); DeadlineMisses counts 504-rejected ones (expired
 	// before batch admission). Neither is in Requests or Errors: they

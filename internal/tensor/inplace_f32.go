@@ -1,0 +1,194 @@
+// Destination-taking f32 kernels for the reduced-precision tier — the
+// float32 twins of inplace.go, feeding ag.EvalF32.
+//
+// Arithmetic note: gc has no float32 transcendentals, so exp/tanh run
+// through the float64 math package with a float32 round on the way
+// out. Reductions (softmax partition, layer-norm moments) accumulate
+// in float32 — the tier is honest about its precision, and the
+// cross-tier error is what the calibration harness budgets for.
+// Every kernel is elementwise or row-independent and shared verbatim
+// between the serial and sharded paths, so the within-tier bitwise
+// contract holds trivially here.
+//
+// Unless noted otherwise, out must have the correct shape already and
+// may alias the input (each element is read before it is written).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// AddF32Into computes out = a + b elementwise. out may alias a or b.
+func AddF32Into(a, b, out *F32) {
+	if !a.SameShape(b) || !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: AddF32Into shape mismatch %v + %v -> %v", a.Shape, b.Shape, out.Shape))
+	}
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// ScaleF32Into computes out = s * a. out may alias a.
+func ScaleF32Into(a *F32, s float32, out *F32) {
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: ScaleF32Into shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+}
+
+// AddBiasF32Into broadcasts the 1xN bias row across every row of a
+// [M,N] matrix. out may alias a.
+func AddBiasF32Into(a, bias, out *F32) {
+	m, n := a.Rows(), a.Cols()
+	if bias.Rows() != 1 || bias.Cols() != n || !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: AddBiasF32Into shape %v + %v -> %v", a.Shape, bias.Shape, out.Shape))
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		orow := out.Row(i)
+		for j := range row {
+			orow[j] = row[j] + bias.Data[j]
+		}
+	}
+}
+
+// SoftmaxRowsF32Into applies a numerically stable softmax to each row.
+// out may alias a.
+func SoftmaxRowsF32Into(a, out *F32) {
+	a.mustMatrix()
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: SoftmaxRowsF32Into shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		mx := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - mx)))
+			orow[j] = e
+			z += e
+		}
+		if z == 0 {
+			z = 1
+		}
+		for j := range orow {
+			orow[j] /= z
+		}
+	}
+}
+
+// LogSoftmaxRowsF32Into applies the numerically stable row-wise
+// log-softmax. out may alias a.
+func LogSoftmaxRowsF32Into(a, out *F32) {
+	a.mustMatrix()
+	if !a.SameShape(out) {
+		panic(fmt.Sprintf("tensor: LogSoftmaxRowsF32Into shape mismatch %v -> %v", a.Shape, out.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		mx := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float32
+		for _, v := range row {
+			z += float32(math.Exp(float64(v - mx)))
+		}
+		lz := float32(math.Log(float64(z))) + mx
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			orow[j] = v - lz
+		}
+	}
+}
+
+// LayerNormRowsF32Into normalizes each row to zero mean / unit
+// variance and applies the 1xN gain gamma and bias beta. out may
+// alias a.
+func LayerNormRowsF32Into(a, gamma, beta *F32, eps float64, out *F32) {
+	m, n := a.Rows(), a.Cols()
+	if gamma.Cols() != n || beta.Cols() != n || !a.SameShape(out) {
+		panic("tensor: LayerNormRowsF32Into shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(n)
+		var va float32
+		for _, v := range row {
+			d := v - mean
+			va += d * d
+		}
+		va /= float32(n)
+		is := float32(1 / math.Sqrt(float64(va)+eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			xh := (v - mean) * is
+			orow[j] = xh*gamma.Data[j] + beta.Data[j]
+		}
+	}
+}
+
+// ReLUF32Into computes out = max(0, a) elementwise. out may alias a.
+func ReLUF32Into(a, out *F32) {
+	if !a.SameShape(out) {
+		panic("tensor: ReLUF32Into shape mismatch")
+	}
+	for i, x := range a.Data {
+		if x > 0 {
+			out.Data[i] = x
+		} else {
+			out.Data[i] = 0
+		}
+	}
+}
+
+// GELUF32Into computes the tanh-approximation GELU elementwise with
+// the same expression as GELUInto. out may alias a.
+func GELUF32Into(a, out *F32) {
+	if !a.SameShape(out) {
+		panic("tensor: GELUF32Into shape mismatch")
+	}
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range a.Data {
+		x64 := float64(x)
+		out.Data[i] = float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	}
+}
+
+// TanhF32Into computes out = tanh(a) elementwise. out may alias a.
+func TanhF32Into(a, out *F32) {
+	if !a.SameShape(out) {
+		panic("tensor: TanhF32Into shape mismatch")
+	}
+	for i, x := range a.Data {
+		out.Data[i] = float32(math.Tanh(float64(x)))
+	}
+}
+
+// SigmoidF32Into computes the logistic function elementwise. out may
+// alias a.
+func SigmoidF32Into(a, out *F32) {
+	if !a.SameShape(out) {
+		panic("tensor: SigmoidF32Into shape mismatch")
+	}
+	for i, x := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(x))))
+	}
+}

@@ -1,0 +1,86 @@
+// PoolF32 is the f32 arena of the reduced-precision inference tier —
+// the float32 twin of Pool, with the same ownership rules: a pooled
+// tensor is valid from its Get until the next Reset, pools are
+// single-session, and nothing that outlives the Reset may point into
+// a pooled buffer. It feeds the process-wide poolGets/poolAllocs
+// counters, so /statsz's reuse rate covers both tiers.
+package tensor
+
+// PoolF32 is a size-indexed f32 tensor arena. The zero value is not
+// usable; construct with NewPoolF32.
+type PoolF32 struct {
+	classes map[int]*poolClassF32
+	live    int
+}
+
+// poolClassF32 is the arena for one element count: bufs[:next] are
+// handed out, bufs[next:] are free.
+type poolClassF32 struct {
+	bufs []*F32
+	next int
+}
+
+// NewPoolF32 creates an empty f32 pool.
+func NewPoolF32() *PoolF32 {
+	return &PoolF32{classes: map[int]*poolClassF32{}}
+}
+
+// Get returns a zeroed f32 tensor of the given shape, reusing a free
+// buffer of the same element count when one exists. The tensor is
+// owned by the pool: it becomes invalid at the next Reset.
+func (p *PoolF32) Get(shape ...int) *F32 {
+	t, reused := p.get(shape)
+	if reused {
+		for i := range t.Data {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// GetUninit is Get without the zeroing pass; only for callers that
+// overwrite every element before reading any (see Pool.GetUninit).
+func (p *PoolF32) GetUninit(shape ...int) *F32 {
+	t, _ := p.get(shape)
+	return t
+}
+
+func (p *PoolF32) get(shape []int) (t *F32, reused bool) {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: PoolF32.Get negative dimension")
+		}
+		n *= s
+	}
+	p.live++
+	poolGets.Add(1)
+	c := p.classes[n]
+	if c == nil {
+		c = &poolClassF32{}
+		p.classes[n] = c
+	}
+	if c.next < len(c.bufs) {
+		t = c.bufs[c.next]
+		c.next++
+		t.setShape(shape)
+		return t, true
+	}
+	poolAllocs.Add(1)
+	t = NewF32(shape...)
+	c.bufs = append(c.bufs, t)
+	c.next++
+	return t, false
+}
+
+// Reset returns every tensor handed out since the last Reset to the
+// free state. Previously returned tensors must no longer be used.
+func (p *PoolF32) Reset() {
+	for _, c := range p.classes {
+		c.next = 0
+	}
+	p.live = 0
+}
+
+// Live reports how many tensors are currently handed out.
+func (p *PoolF32) Live() int { return p.live }
