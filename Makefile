@@ -2,14 +2,14 @@
 # targets locally before pushing.
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus ./internal/loadgen
+RACE_PKGS := ./internal/parallel ./internal/tensor ./internal/ag ./internal/nn ./internal/mtmlf ./internal/experiments ./internal/datagen ./internal/serve ./internal/workload ./internal/corpus ./internal/loadgen ./internal/dist
 
 # Pinned linter versions: CI installs exactly these; bump them here
 # and in no other place.
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build vet vet-custom staticcheck vulncheck lint fmt-check test race bench bench-smoke bench-infer bench-roofline calib-smoke serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint ci
+.PHONY: all build vet vet-custom staticcheck vulncheck lint fmt-check test race bench bench-smoke bench-infer bench-roofline calib-smoke serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke dist-smoke fuzz-smoke docs-lint ci
 
 all: build
 
@@ -123,6 +123,16 @@ resume-smoke:
 	./scripts/crash_resume_smoke.sh >resume-smoke.log 2>&1 || { cat resume-smoke.log; exit 1; }
 	@tail -n 3 resume-smoke.log
 
+# Distributed-fleet drill: coordinator + 2 workers train `-mla` over
+# the gradient-exchange plane, one worker dies by kill -9 mid-epoch
+# (the fleet fail-stops), a supervisor relaunches everything with
+# -resume, and the final checkpoint + loss trajectory must be bitwise
+# identical to an uninterrupted single-process run. Leaves
+# dist-smoke.log for CI to upload.
+dist-smoke:
+	./scripts/dist_smoke.sh >dist-smoke.log 2>&1 || { cat dist-smoke.log; exit 1; }
+	@tail -n 3 dist-smoke.log
+
 # Short fuzz pass over the artifact decoders: arbitrary bytes must
 # error, never panic. Seeds cover both checkpoint versions, both
 # corpus versions, and the torn-write/bit-flip corruption shapes.
@@ -140,4 +150,4 @@ docs-lint:
 			{ echo "docs-lint: $$d has no package comment"; bad=1; }; \
 	done; [ "$$bad" = 0 ]
 
-ci: build vet vet-custom fmt-check test race bench-smoke bench-infer calib-smoke serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke fuzz-smoke docs-lint
+ci: build vet vet-custom fmt-check test race bench-smoke bench-infer calib-smoke serve-smoke corpus-smoke mla-smoke load-smoke resume-smoke dist-smoke fuzz-smoke docs-lint

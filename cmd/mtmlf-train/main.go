@@ -24,6 +24,8 @@
 //	            [-loss-out losses.txt]
 //	            [-mla] [-encoder-epochs 2] [-st-per-table 40]
 //	            [-resume state.snap] [-snapshot-every 0]
+//	            [-dist-coordinator :0 | -dist-worker addr]
+//	            [-dist-rank 0] [-dist-world 1]
 //
 // -resume makes the run durable: training state (parameters, Adam
 // moments, shuffle position, running stats) is snapshotted atomically
@@ -56,6 +58,21 @@
 // pretrains locally). -load accepts either kind and loads what the
 // file holds.
 //
+// -dist-coordinator / -dist-worker run one training job as a
+// distributed data-parallel fleet over the gradient-exchange plane
+// (internal/dist): one coordinator process plus -dist-world worker
+// ranks, every worker launched with identical training flags plus its
+// own -dist-rank. Each rank fetches and backwards only the minibatch
+// slots it owns (slot i belongs to rank i mod world) — for a corpus
+// job that means each rank reads only its slice of the stream — and
+// the coordinator performs the example-ordered reduction centrally,
+// so the trajectory and every artifact are bitwise identical to the
+// single-process run at the same seed, batch, and example set, for
+// any fleet size. Rank 0 owns all artifacts (-save, -loss-out,
+// -resume); with -resume, rank 0's snapshot is broadcast at startup
+// so a supervisor can kill -9 any process and restart the whole
+// fleet, which `make dist-smoke` drills.
+//
 // -workers sizes the shared worker pool (0 = all cores) used by the
 // tensor kernels, the data-parallel training loop, and corpus example
 // decoding; -batch sets the minibatch size (examples per Adam step).
@@ -72,6 +89,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -82,6 +100,7 @@ import (
 	"mtmlf/internal/ckptio"
 	"mtmlf/internal/corpus"
 	"mtmlf/internal/datagen"
+	"mtmlf/internal/dist"
 	"mtmlf/internal/metrics"
 	"mtmlf/internal/mtmlf"
 	"mtmlf/internal/tensor"
@@ -108,10 +127,46 @@ func main() {
 	stPerTable := flag.Int("st-per-table", 40, "single-table queries per table for the -mla live-pretrain fallback on corpora whose Meta predates the recorded generation parameters")
 	resumePath := flag.String("resume", "", "training-state snapshot file: resumed from when present, written on SIGINT/SIGTERM (then exit 0) and every -snapshot-every steps")
 	snapEvery := flag.Int("snapshot-every", 0, "with -resume: also snapshot after every N optimizer steps (0 = only on interruption)")
+	distCoord := flag.String("dist-coordinator", "", "listen address (host:port): serve as the gradient-exchange coordinator for a -dist-world rank fleet, then exit")
+	distWorker := flag.String("dist-worker", "", "coordinator address (host:port): train as one rank of a distributed fleet")
+	distRank := flag.Int("dist-rank", 0, "this process's rank (0-based) in the -dist-worker fleet")
+	distWorld := flag.Int("dist-world", 1, "number of worker ranks in the distributed fleet")
 	flag.Parse()
 
 	tensor.SetParallelism(*workers)
 	start := time.Now()
+
+	if *distCoord != "" {
+		if *distWorker != "" {
+			log.Fatal("-dist-coordinator and -dist-worker are different processes; pick one")
+		}
+		runCoordinator(*distCoord, *distWorld)
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	var ex dist.Exchanger
+	if *distWorker != "" {
+		// The fingerprint is every trajectory-relevant flag: the
+		// coordinator refuses a fleet whose ranks disagree on it, so a
+		// mislaunched rank (wrong seed, wrong corpus, wrong batch) dies
+		// at the handshake instead of poisoning the run.
+		fp := fmt.Sprintf("mla=%v corpus=%s corpus-mode=%s db=%s queries=%d epochs=%d encoder-epochs=%d st-per-table=%d batch=%d seed=%d scale=%v seqloss=%v loss=%v world=%d",
+			*mla, *corpusPath, *corpusMode, *dbName, *queries, *epochs, *encEpochs, *stPerTable, *batch, *seed, *scale, *seqLoss, *lossOut != "", *distWorld)
+		t, err := dist.DialRetry(*distWorker, *distRank, *distWorld, fp, 300, 100*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer t.Close()
+		ex = t
+		fmt.Printf("rank %d/%d joined the fleet at %s\n", *distRank, *distWorld, *distWorker)
+	}
+	// Rank 0 owns every per-job artifact: the checkpoint, the
+	// trajectory file, and the training snapshot. Other ranks compute
+	// the identical state (and record the identical trajectory, which
+	// keeps the run configuration uniform fleet-wide) but write
+	// nothing.
+	isPrimary := *distWorker == "" || *distRank == 0
+
 	snap := mtmlf.SnapshotOptions{
 		Path: *resumePath, Every: *snapEvery, Resume: *resumePath != "",
 		Interrupt: interruptOnSignal(*resumePath != ""),
@@ -131,7 +186,7 @@ func main() {
 		case *sharedOnly:
 			log.Fatal("-mla checkpoints are always shared-only; drop -shared-only")
 		}
-		trainMLA(*corpusPath, *corpusMode, *epochs, *encEpochs, *stPerTable, *batch, *seed, *savePath, *lossOut, snap)
+		trainMLA(*corpusPath, *corpusMode, *epochs, *encEpochs, *stPerTable, *batch, *seed, *savePath, *lossOut, snap, ex, isPrimary)
 		fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
@@ -245,7 +300,7 @@ func main() {
 	fmt.Printf("joint training (%d epochs, seq-level loss: %v)...\n", *epochs, *seqLoss)
 	st, err := model.TrainJointStream(src, mtmlf.TrainOptions{
 		Epochs: *epochs, Seed: *seed + 2, SeqLevelLoss: *seqLoss, BatchSize: *batch,
-		RecordTrajectory: *lossOut != "", Snapshot: snap,
+		RecordTrajectory: *lossOut != "", Snapshot: snap, Exchanger: ex,
 	})
 	if errors.Is(err, mtmlf.ErrInterrupted) {
 		exitInterrupted(*resumePath)
@@ -254,7 +309,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained %d steps, final running loss %.3f\n", st.Steps, st.FinalLoss)
-	if *lossOut != "" {
+	if *lossOut != "" && isPrimary {
 		if err := writeTrajectory(*lossOut, st.Trajectory); err != nil {
 			log.Fatal(err)
 		}
@@ -280,7 +335,7 @@ func main() {
 	fmt.Printf("cost q-error:  median %.2f  max %.1f  mean %.2f\n", os1.Median, os1.Max, os1.Mean)
 	fmt.Printf("join order:    mean JOEU %.2f over %d labeled queries\n", js.Mean, js.N)
 
-	if *savePath != "" {
+	if *savePath != "" && isPrimary {
 		// Checkpoints commit atomically (temp file + fsync + rename): a
 		// crash mid-save can never leave a torn artifact at -save.
 		if *sharedOnly {
@@ -334,8 +389,12 @@ func exitInterrupted(resumePath string) {
 // featurizers pre-train from the v2 single-table sections when the
 // corpus has them (v1: live fallback); and the joint loop streams the
 // pooled examples from disk ("stream") or from materialized slices
-// ("inmem") — bitwise-identically either way.
-func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batch int, seed int64, savePath, lossOut string, snap mtmlf.SnapshotOptions) {
+// ("inmem") — bitwise-identically either way. With a non-nil ex this
+// process is one rank of a distributed fleet: it prepares every
+// featurizer deterministically like the others, then fetches and
+// backwards only the minibatch slots it owns, exchanging gradients
+// through the coordinator; only the primary rank writes artifacts.
+func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batch int, seed int64, savePath, lossOut string, snap mtmlf.SnapshotOptions, ex dist.Exchanger, isPrimary bool) {
 	if corpusPath == "" {
 		log.Fatal("-mla requires -corpus (a fleet artifact written by mtmlf-datagen -single-table)")
 	}
@@ -399,6 +458,7 @@ func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batc
 		BatchSize:           batch,
 		RecordTrajectory:    lossOut != "",
 		Snapshot:            snap,
+		Exchanger:           ex,
 	}
 	fmt.Printf("fleet pretraining: (F) per DB, then joint (S)+(T) over the pooled stream (%d epochs)...\n", epochs)
 	tasks, st, err := mtmlf.TrainMLAStream(shared, cats, srcs, opts)
@@ -409,18 +469,40 @@ func trainMLA(corpusPath, corpusMode string, epochs, encEpochs, stPerTable, batc
 		log.Fatal(err)
 	}
 	fmt.Printf("pretrained on %d databases: %d steps, final running loss %.3f\n", len(tasks), st.Steps, st.FinalLoss)
-	if lossOut != "" {
+	if lossOut != "" && isPrimary {
 		if err := writeTrajectory(lossOut, st.Trajectory); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d-step loss trajectory to %s\n", len(st.Trajectory), lossOut)
 	}
-	if savePath != "" {
+	if savePath != "" && isPrimary {
 		if err := mtmlf.SaveSharedFile(savePath, tasks[0].Model); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved shared-only (transfer) checkpoint to %s\n", savePath)
 	}
+}
+
+// runCoordinator is the -dist-coordinator mode: a model-free hub that
+// admits exactly world ranks, serves lockstep gradient-exchange
+// rounds, and exits 0 on a clean fleet shutdown. Any rank failure,
+// drift, or frame corruption aborts the whole fleet (exit 1) — the
+// supervisor then restarts coordinator and workers with -resume, and
+// rank 0's snapshot re-synchronizes everyone.
+func runCoordinator(addr string, world int) {
+	if world < 1 {
+		log.Fatalf("-dist-world %d: a fleet needs at least one rank", world)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := dist.NewCoordinator(ln, world)
+	fmt.Printf("coordinator listening on %s for %d ranks\n", c.Addr(), world)
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet of %d ranks completed cleanly\n", world)
 }
 
 // writeTrajectory writes one hex-formatted float64 per line. Hex

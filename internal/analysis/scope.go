@@ -17,6 +17,7 @@ var DeterminismCritical = map[string]bool{
 	"mtmlf/internal/nn":        true,
 	"mtmlf/internal/corpus":    true,
 	"mtmlf/internal/treelstm":  true,
+	"mtmlf/internal/dist":      true,
 }
 
 // InScope reports whether analyzer a applies to the package at

@@ -15,8 +15,10 @@ func TestInScope(t *testing.T) {
 		// Determinism contracts gate the training path only.
 		{analysis.MapIter, "mtmlf/internal/mtmlf", true},
 		{analysis.MapIter, "mtmlf/internal/corpus", true},
+		{analysis.MapIter, "mtmlf/internal/dist", true},
 		{analysis.MapIter, "mtmlf/internal/serve", false},
 		{analysis.GlobalRand, "mtmlf/internal/nn", true},
+		{analysis.GlobalRand, "mtmlf/internal/dist", true},
 		{analysis.GlobalRand, "mtmlf/internal/loadgen", false},
 		{analysis.GlobalRand, "mtmlf/internal/benchjson", false},
 		// The atomic-commit rule is module-wide except its implementation.

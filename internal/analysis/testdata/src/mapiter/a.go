@@ -22,6 +22,21 @@ func unsortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// Flagged: reducing per-example gradient buffers in map order — float
+// addition is not associative, so the accumulated value depends on
+// which parameter the range visits first. This is the exact bug class
+// the gradient-exchange plane avoids by indexing slot buffers with the
+// params slice.
+func reduceGradSlots(slots []map[int]float64) map[int]float64 {
+	acc := make(map[int]float64)
+	for _, slot := range slots {
+		for p, g := range slot { // want `iteration over map is unordered`
+			acc[p] += g
+		}
+	}
+	return acc
+}
+
 // Clean: the canonical collect-then-sort idiom.
 func sortedKeys(m map[string]int) []string {
 	keys := make([]string, 0, len(m))

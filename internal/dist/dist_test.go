@@ -1,0 +1,466 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/tensor"
+)
+
+// testShapes is a small heterogeneous parameter list: a matrix, a
+// bias row, and a parameter no slot ever touches (its Grad must stay
+// nil through every backend).
+var testShapes = [][]int{{3, 4}, {1, 4}, {2, 2}}
+
+const untouchedParam = 2
+
+// makeParams builds one rank's private parameter list with
+// deterministic contents.
+func makeParams() []*ag.Value {
+	params := make([]*ag.Value, len(testShapes))
+	for k, shape := range testShapes {
+		t := tensor.New(shape...)
+		for j := range t.Data {
+			t.Data[j] = float64(k+1) * (float64(j) + 0.5)
+		}
+		params[k] = ag.Param(t)
+	}
+	return params
+}
+
+// slotGrad builds slot i's deterministic gradient for parameter k.
+// Slot indices leave distinct bit patterns so an out-of-order
+// reduction cannot cancel out.
+func slotGrad(step, i, k int, p *ag.Value) *tensor.Tensor {
+	g := tensor.New(p.T.Shape...)
+	for j := range g.Data {
+		g.Data[j] = 1.0/float64(step*31+i*7+k+1) + float64(j)*1e-3
+	}
+	return g
+}
+
+// fillSlot builds slot i's Grads buffer. Odd slots skip parameter 1,
+// so the reduction must cope with slots that touch different
+// parameter subsets.
+func fillSlot(step, i int, params []*ag.Value) ag.Grads {
+	slot := ag.Grads{}
+	for k, p := range params {
+		if k == untouchedParam || (k == 1 && i%2 == 1) {
+			continue
+		}
+		slot[p] = slotGrad(step, i, k, p)
+	}
+	return slot
+}
+
+// refReduce computes the single-process reference reduction for one
+// step over fresh params, returning the per-parameter Grad tensors.
+func refReduce(step, n int, scale float64) []*tensor.Tensor {
+	params := makeParams()
+	slots := make([]ag.Grads, n)
+	for i := range slots {
+		slots[i] = fillSlot(step, i, params)
+	}
+	ag.ReduceGrads(params, slots, scale)
+	out := make([]*tensor.Tensor, len(params))
+	for k, p := range params {
+		out[k] = p.Grad
+	}
+	return out
+}
+
+func checkGradsBitwise(t *testing.T, tag string, params []*ag.Value, want []*tensor.Tensor) {
+	t.Helper()
+	for k, p := range params {
+		switch {
+		case p.Grad == nil && want[k] == nil:
+		case p.Grad == nil || want[k] == nil:
+			t.Fatalf("%s: parameter %d: grad nil-ness differs (got %v, want %v)", tag, k, p.Grad, want[k])
+		default:
+			for j := range want[k].Data {
+				if math.Float64bits(p.Grad.Data[j]) != math.Float64bits(want[k].Data[j]) {
+					t.Fatalf("%s: parameter %d element %d: got %x, want %x",
+						tag, k, j, math.Float64bits(p.Grad.Data[j]), math.Float64bits(want[k].Data[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestLocalAllReduceMatchesReduceGrads pins the Local backend to the
+// pre-plane trainer behavior: AllReduce must be ag.ReduceGrads.
+func TestLocalAllReduceMatchesReduceGrads(t *testing.T) {
+	ex := Local()
+	if w, r := ex.World(); w != 1 || r != 0 {
+		t.Fatalf("Local world = (%d,%d), want (1,0)", w, r)
+	}
+	n, scale := 5, 1.0/5
+	params := makeParams()
+	slots := make([]ag.Grads, n)
+	losses := make([]float64, n)
+	for i := range slots {
+		slots[i] = fillSlot(1, i, params)
+		losses[i] = float64(i) + 0.25
+	}
+	if err := ex.AllReduce(params, slots, losses, scale); err != nil {
+		t.Fatal(err)
+	}
+	checkGradsBitwise(t, "local", params, refReduce(1, n, scale))
+	for i := range losses {
+		if losses[i] != float64(i)+0.25 {
+			t.Fatalf("local AllReduce touched losses[%d]", i)
+		}
+	}
+	if _, err := ex.BroadcastBytes([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startCoordinator boots a loopback coordinator and returns its
+// address plus the Run error channel.
+func startCoordinator(t *testing.T, world int) (string, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(ln, world)
+	errc := make(chan error, 1)
+	go func() { errc <- c.Run() }()
+	return c.Addr(), errc
+}
+
+func waitCoordinator(t *testing.T, errc chan error) {
+	t.Helper()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not exit")
+	}
+}
+
+// TestTCPAllReduceMatchesLocal is the plane's core contract: at world
+// 2 and 3, every rank's reduced gradients and loss vectors must be
+// bitwise identical to the single-process ag.ReduceGrads reduction —
+// across several steps, including a short final batch and slots that
+// touch different parameter subsets.
+func TestTCPAllReduceMatchesLocal(t *testing.T) {
+	for _, world := range []int{2, 3} {
+		t.Run(fmt.Sprintf("world%d", world), func(t *testing.T) {
+			addr, coordErr := startCoordinator(t, world)
+			batches := []int{4, 5, 1, 2} // n per step; 5 and 1 exercise uneven ownership
+			var wg sync.WaitGroup
+			rankErr := make(chan error, world)
+			for rank := 0; rank < world; rank++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					ex, err := DialRetry(addr, rank, world, "test-job", 50, 20*time.Millisecond)
+					if err != nil {
+						rankErr <- err
+						return
+					}
+					defer ex.Close()
+					params := makeParams()
+					for step, n := range batches {
+						scale := 1 / float64(n)
+						slots := make([]ag.Grads, n)
+						losses := make([]float64, n)
+						for i := 0; i < n; i++ {
+							if !Owns(world, rank, i) {
+								continue
+							}
+							slots[i] = fillSlot(step, i, params)
+							losses[i] = float64(step*100 + i)
+						}
+						for _, p := range params {
+							p.Grad = nil
+						}
+						if err := ex.AllReduce(params, slots, losses, scale); err != nil {
+							rankErr <- fmt.Errorf("rank %d step %d: %w", rank, step, err)
+							return
+						}
+						want := refReduce(step, n, scale)
+						for k, p := range params {
+							wantNil := want[k] == nil
+							if (p.Grad == nil) != wantNil {
+								rankErr <- fmt.Errorf("rank %d step %d param %d: grad nil-ness differs", rank, step, k)
+								return
+							}
+							if wantNil {
+								continue
+							}
+							for j := range want[k].Data {
+								if math.Float64bits(p.Grad.Data[j]) != math.Float64bits(want[k].Data[j]) {
+									rankErr <- fmt.Errorf("rank %d step %d param %d elem %d: bits differ", rank, step, k, j)
+									return
+								}
+							}
+						}
+						for i := 0; i < n; i++ {
+							if losses[i] != float64(step*100+i) {
+								rankErr <- fmt.Errorf("rank %d step %d: losses[%d] = %v, want %v",
+									rank, step, i, losses[i], float64(step*100+i))
+								return
+							}
+						}
+					}
+					if err := ex.Barrier(); err != nil {
+						rankErr <- err
+					}
+				}(rank)
+			}
+			wg.Wait()
+			close(rankErr)
+			for err := range rankErr {
+				t.Fatal(err)
+			}
+			waitCoordinator(t, coordErr)
+		})
+	}
+}
+
+// TestTCPBroadcast: rank 0's payload reaches every rank byte-for-byte
+// (and rank 0 gets its own copy back through the same path).
+func TestTCPBroadcast(t *testing.T) {
+	const world = 3
+	addr, coordErr := startCoordinator(t, world)
+	payload := []byte("resume-state: epoch 3 offset 12")
+	var wg sync.WaitGroup
+	rankErr := make(chan error, world)
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ex, err := DialRetry(addr, rank, world, "bcast", 50, 20*time.Millisecond)
+			if err != nil {
+				rankErr <- err
+				return
+			}
+			defer ex.Close()
+			in := []byte("ignored on nonzero ranks")
+			if rank == 0 {
+				in = payload
+			}
+			got, err := ex.BroadcastBytes(in)
+			if err != nil {
+				rankErr <- err
+				return
+			}
+			if string(got) != string(payload) {
+				rankErr <- fmt.Errorf("rank %d received %q, want %q", rank, got, payload)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	close(rankErr)
+	for err := range rankErr {
+		t.Fatal(err)
+	}
+	waitCoordinator(t, coordErr)
+}
+
+// TestTCPFingerprintMismatch: a fleet whose ranks disagree on the job
+// fingerprint must abort before any gradient flows.
+func TestTCPFingerprintMismatch(t *testing.T) {
+	const world = 2
+	addr, coordErr := startCoordinator(t, world)
+	var wg sync.WaitGroup
+	results := make([]error, world)
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fp := "job-a"
+			if rank == 1 {
+				fp = "job-b"
+			}
+			ex, err := DialRetry(addr, rank, world, fp, 50, 20*time.Millisecond)
+			if err == nil {
+				// The coordinator only validates once all ranks are in;
+				// the first exchange surfaces the abort.
+				err = ex.Barrier()
+				ex.Close()
+			}
+			results[rank] = err
+		}(rank)
+	}
+	wg.Wait()
+	select {
+	case err := <-coordErr:
+		if err == nil || !strings.Contains(err.Error(), "job mismatch") {
+			t.Fatalf("coordinator error = %v, want job mismatch", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not exit")
+	}
+	for rank, err := range results {
+		if err == nil {
+			t.Fatalf("rank %d saw no error from a mismatched fleet", rank)
+		}
+	}
+}
+
+// TestTCPRankDriftAborts: ranks disagreeing on the minibatch shape is
+// drift, and the whole fleet must fail rather than reduce garbage.
+func TestTCPRankDriftAborts(t *testing.T) {
+	const world = 2
+	addr, coordErr := startCoordinator(t, world)
+	var wg sync.WaitGroup
+	results := make([]error, world)
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ex, err := DialRetry(addr, rank, world, "drift", 50, 20*time.Millisecond)
+			if err != nil {
+				results[rank] = err
+				return
+			}
+			defer ex.Close()
+			params := makeParams()
+			n := 4
+			if rank == 1 {
+				n = 3 // drifted: wrong batch size
+			}
+			slots := make([]ag.Grads, n)
+			losses := make([]float64, n)
+			for i := 0; i < n; i++ {
+				if Owns(world, rank, i) {
+					slots[i] = fillSlot(0, i, params)
+				}
+			}
+			results[rank] = ex.AllReduce(params, slots, losses, 0.25)
+		}(rank)
+	}
+	wg.Wait()
+	select {
+	case err := <-coordErr:
+		if err == nil || !strings.Contains(err.Error(), "rank drift") {
+			t.Fatalf("coordinator error = %v, want rank drift", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not exit")
+	}
+	for rank, err := range results {
+		if err == nil {
+			t.Fatalf("rank %d AllReduce succeeded in a drifted fleet", rank)
+		}
+	}
+}
+
+// TestTCPDuplicateRank: two workers claiming the same rank is a
+// launch error the coordinator must reject.
+func TestTCPDuplicateRank(t *testing.T) {
+	const world = 2
+	addr, coordErr := startCoordinator(t, world)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ex, err := DialRetry(addr, 0, world, "dup", 50, 20*time.Millisecond)
+			if err == nil {
+				err = ex.Barrier()
+				ex.Close()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-coordErr:
+		if err == nil || !strings.Contains(err.Error(), "rank 0") {
+			t.Fatalf("coordinator error = %v, want duplicate rank", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not exit")
+	}
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("both duplicate-rank workers succeeded")
+	}
+}
+
+// TestWireRoundTrip pins the frame codecs: encode→decode must be
+// lossless, and a truncated body must error, never panic.
+func TestWireRoundTrip(t *testing.T) {
+	f := &gradsFrame{step: 7, n: 3, scale: 1.0 / 3}
+	f.slots = []slotGrads{
+		{slot: 0, loss: math.Pi, entries: []gradEntry{{param: 0, data: []float64{1, -2, 3.5}}}},
+		{slot: 2, loss: -0.0, entries: []gradEntry{{param: 1, data: []float64{0.125}}, {param: 3, data: nil}}},
+	}
+	enc := encodeGrads(f)
+	got, err := decodeGrads(enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.step != f.step || got.n != f.n || got.scale != f.scale || len(got.slots) != len(f.slots) {
+		t.Fatalf("grads round trip: got %+v, want %+v", got, f)
+	}
+	if math.Float64bits(got.slots[1].loss) != math.Float64bits(-0.0) {
+		t.Fatal("loss bit pattern not preserved (-0.0)")
+	}
+	if got.slots[0].entries[0].data[2] != 3.5 {
+		t.Fatal("gradient data not preserved")
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := decodeGrads(enc[1:cut]); err == nil && cut < len(enc) {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+	r := &reducedFrame{step: 9, losses: []float64{1, 2, 3}, entries: []gradEntry{{param: 2, data: []float64{4, 5}}}}
+	encR := encodeReduced(r)
+	gotR, err := decodeReduced(encR[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.step != 9 || len(gotR.losses) != 3 || gotR.entries[0].param != 2 || gotR.entries[0].data[1] != 5 {
+		t.Fatalf("reduced round trip: got %+v", gotR)
+	}
+	h := hello{rank: 1, world: 3, fingerprint: "fp"}
+	encH := encodeHello(h)
+	gotH, err := decodeHello(encH[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("hello round trip: got %+v, want %+v", gotH, h)
+	}
+}
+
+// TestOwns pins the slot→rank map to the worker-stride scheme.
+func TestOwns(t *testing.T) {
+	if !Owns(1, 0, 5) {
+		t.Fatal("world 1 must own every slot")
+	}
+	for i := 0; i < 12; i++ {
+		owners := 0
+		for rank := 0; rank < 3; rank++ {
+			if Owns(3, rank, i) {
+				owners++
+				if i%3 != rank {
+					t.Fatalf("Owns(3,%d,%d) true but %d%%3 != %d", rank, i, i, rank)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("slot %d has %d owners at world 3", i, owners)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mtmlf/internal/ag"
+	"mtmlf/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// TCP worker exchanger
+// ---------------------------------------------------------------------------
+
+// TCP is the distributed Exchanger: one rank's connection to the
+// coordinator. Create it with Dial or DialRetry.
+type TCP struct {
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	world int
+	rank  int
+	step  uint64
+	once  sync.Once
+}
+
+// Dial connects rank (of world) to the coordinator at addr and
+// completes the handshake. The handshake doubles as the startup
+// barrier: the coordinator acknowledges only once every rank has
+// connected, so a successful Dial means the whole fleet exists.
+// fingerprint is an operator-readable description of the training job
+// (flags, corpus, seed); the coordinator rejects a fleet whose ranks
+// disagree on it, catching misconfigured launches before any
+// gradient flows.
+func Dial(addr string, rank, world int, fingerprint string) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return handshake(conn, rank, world, fingerprint)
+}
+
+// DialRetry is Dial with a bounded connection-retry loop (attempts
+// tries, delay apart) so workers may be launched before, after, or
+// concurrently with the coordinator. Only the connection itself is
+// retried; a handshake rejection is a configuration error and fails
+// immediately.
+func DialRetry(addr string, rank, world int, fingerprint string, attempts int, delay time.Duration) (*TCP, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var conn net.Conn
+	var err error
+	for try := 0; try < attempts; try++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			return handshake(conn, rank, world, fingerprint)
+		}
+		time.Sleep(delay)
+	}
+	return nil, fmt.Errorf("dist: no coordinator at %s after %d attempts: %w", addr, attempts, err)
+}
+
+func handshake(conn net.Conn, rank, world int, fingerprint string) (*TCP, error) {
+	if world < 1 || rank < 0 || rank >= world {
+		conn.Close()
+		return nil, fmt.Errorf("dist: rank %d out of range for world %d", rank, world)
+	}
+	t := &TCP{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), world: world, rank: rank}
+	if err := t.send(encodeHello(hello{rank: rank, world: world, fingerprint: fingerprint})); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: handshake send: %w", err)
+	}
+	if _, err := expectMsg(t.r, msgHelloAck); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: handshake: %w", err)
+	}
+	return t, nil
+}
+
+// send frames, writes, and flushes one message.
+func (t *TCP) send(payload []byte) error {
+	if err := writeMsg(t.w, payload); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// World returns the fleet shape.
+func (t *TCP) World() (int, int) { return t.world, t.rank }
+
+// AllReduce ships this rank's owned slots to the coordinator and
+// installs the slot-ordered reduced gradient and the full loss vector
+// it sends back. See Exchanger.
+func (t *TCP) AllReduce(params []*ag.Value, slots []ag.Grads, losses []float64, scale float64) error {
+	t.step++
+	frame := &gradsFrame{step: t.step, n: uint32(len(slots)), scale: scale}
+	for i, slot := range slots {
+		if slot == nil {
+			continue
+		}
+		s := slotGrads{slot: uint32(i), loss: losses[i]}
+		for k, p := range params {
+			g := slot[p]
+			if g == nil {
+				continue
+			}
+			s.entries = append(s.entries, gradEntry{param: uint32(k), data: g.Data})
+		}
+		frame.slots = append(frame.slots, s)
+	}
+	if err := t.send(encodeGrads(frame)); err != nil {
+		return fmt.Errorf("dist: send gradients (step %d): %w", t.step, err)
+	}
+	body, err := expectMsg(t.r, msgReduced)
+	if err != nil {
+		return fmt.Errorf("dist: receive reduced gradient (step %d): %w", t.step, err)
+	}
+	red, err := decodeReduced(body)
+	if err != nil {
+		return err
+	}
+	if red.step != t.step {
+		return fmt.Errorf("dist: reduced frame for step %d, this rank is at step %d", red.step, t.step)
+	}
+	if len(red.losses) != len(losses) {
+		return fmt.Errorf("dist: reduced frame has %d losses for an n=%d minibatch", len(red.losses), len(losses))
+	}
+	copy(losses, red.losses)
+	for _, e := range red.entries {
+		if int(e.param) >= len(params) {
+			return fmt.Errorf("dist: reduced gradient for parameter %d, model has %d", e.param, len(params))
+		}
+		p := params[e.param]
+		if len(e.data) != p.T.Size() {
+			return fmt.Errorf("dist: reduced gradient for parameter %d has %d elements, parameter has %d",
+				e.param, len(e.data), p.T.Size())
+		}
+		g := tensor.New(p.T.Shape...)
+		copy(g.Data, e.data)
+		if p.Grad == nil {
+			p.Grad = g
+		} else {
+			p.Grad.AddInPlace(g)
+		}
+	}
+	return nil
+}
+
+// BroadcastBytes relays rank 0's payload through the coordinator to
+// every rank. See Exchanger.
+func (t *TCP) BroadcastBytes(payload []byte) ([]byte, error) {
+	if t.rank != 0 {
+		payload = nil
+	}
+	if err := t.send(encodePayload(msgBcast, payload)); err != nil {
+		return nil, fmt.Errorf("dist: send broadcast: %w", err)
+	}
+	body, err := expectMsg(t.r, msgBcastOut)
+	if err != nil {
+		return nil, fmt.Errorf("dist: receive broadcast: %w", err)
+	}
+	return decodePayload(body)
+}
+
+// Barrier blocks until every rank has sent its barrier message.
+func (t *TCP) Barrier() error {
+	if err := t.send([]byte{msgBarrier}); err != nil {
+		return fmt.Errorf("dist: send barrier: %w", err)
+	}
+	if _, err := expectMsg(t.r, msgBarrierAck); err != nil {
+		return fmt.Errorf("dist: barrier: %w", err)
+	}
+	return nil
+}
+
+// Close tells the coordinator this rank is done and closes the
+// connection. Idempotent.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		// Best effort: the coordinator may already be gone after an
+		// abort, and a close must not mask the original error.
+		_ = t.send([]byte{msgDone})
+		_ = t.conn.Close()
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+// Coordinator is the hub of one distributed training job: it accepts
+// exactly world ranks, then serves lockstep exchange rounds (gradient
+// reduction, broadcast, barrier) until every rank closes. It holds no
+// model state — the slot-ordered reduction is pure arithmetic over
+// the frames — so the ranks' parameters stay bitwise identical to
+// each other and to the single-process run by construction.
+//
+// The coordinator is fail-stop: any connection error, rank drift, or
+// frame corruption aborts the whole fleet (a best-effort error
+// message is sent to every surviving rank) and Run returns the
+// error. A supervisor restarts the job; rank 0's training snapshot
+// re-synchronizes everyone.
+type Coordinator struct {
+	ln    net.Listener
+	world int
+}
+
+// NewCoordinator wraps an already-listening socket. The caller owns
+// choosing the address (and can print ln.Addr() for the workers);
+// Run closes the listener when it returns.
+func NewCoordinator(ln net.Listener, world int) *Coordinator {
+	return &Coordinator{ln: ln, world: world}
+}
+
+// Addr returns the listen address workers should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// rankConn is one accepted rank's buffered connection.
+type rankConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Run serves one training job to completion: handshake with every
+// rank, lockstep exchange rounds, clean exit once all ranks are done.
+// It returns nil only for a clean fleet shutdown.
+func (c *Coordinator) Run() error {
+	conns := make([]*rankConn, c.world)
+	defer func() {
+		c.ln.Close()
+		for _, rc := range conns {
+			if rc != nil {
+				rc.conn.Close()
+			}
+		}
+	}()
+	if err := c.accept(conns); err != nil {
+		return err
+	}
+	// Every rank is connected and validated: release them together.
+	// This is the fleet's startup barrier.
+	for rank, rc := range conns {
+		if err := sendTo(rc, []byte{msgHelloAck}); err != nil {
+			return c.abort(conns, fmt.Errorf("dist: ack rank %d: %w", rank, err))
+		}
+	}
+	done := 0
+	for {
+		// One lockstep round: every rank sends exactly one message and
+		// every message must agree on the kind — a rank asking for a
+		// gradient reduction while another says it is done means the
+		// fleet has drifted, and fail-stop beats silent divergence.
+		msgs := make([][]byte, c.world)
+		for rank, rc := range conns {
+			p, err := readMsg(rc.r)
+			if err != nil {
+				return c.abort(conns, fmt.Errorf("dist: read from rank %d: %w", rank, err))
+			}
+			msgs[rank] = p
+		}
+		kind := msgs[0][0]
+		for rank, p := range msgs {
+			if p[0] != kind {
+				return c.abort(conns, fmt.Errorf("dist: rank drift: rank 0 sent %s, rank %d sent %s",
+					kindName(kind), rank, kindName(p[0])))
+			}
+		}
+		var err error
+		switch kind {
+		case msgDone:
+			done = c.world
+		case msgBarrier:
+			err = c.fanOut(conns, []byte{msgBarrierAck})
+		case msgBcast:
+			err = c.relayBroadcast(conns, msgs)
+		case msgGrads:
+			err = c.reduceRound(conns, msgs)
+		default:
+			err = fmt.Errorf("dist: unexpected %s message mid-run", kindName(kind))
+		}
+		if err != nil {
+			return c.abort(conns, err)
+		}
+		if done == c.world {
+			return nil
+		}
+	}
+}
+
+// accept admits exactly world ranks, validating each handshake and
+// cross-checking the job fingerprints.
+func (c *Coordinator) accept(conns []*rankConn) error {
+	fingerprints := make([]string, c.world)
+	for admitted := 0; admitted < c.world; {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return c.abort(conns, fmt.Errorf("dist: accept: %w", err))
+		}
+		rc := &rankConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		body, err := expectMsg(rc.r, msgHello)
+		if err != nil {
+			conn.Close()
+			return c.abort(conns, fmt.Errorf("dist: handshake: %w", err))
+		}
+		h, err := decodeHello(body)
+		if err != nil {
+			conn.Close()
+			return c.abort(conns, err)
+		}
+		switch {
+		case h.world != c.world:
+			err = fmt.Errorf("dist: rank %d dialed with -dist-world %d, coordinator serves %d", h.rank, h.world, c.world)
+		case h.rank < 0 || h.rank >= c.world:
+			err = fmt.Errorf("dist: rank %d out of range for world %d", h.rank, c.world)
+		case conns[h.rank] != nil:
+			err = fmt.Errorf("dist: two workers claim rank %d (duplicate -dist-rank?)", h.rank)
+		}
+		if err != nil {
+			conn.Close()
+			return c.abort(conns, err)
+		}
+		conns[h.rank] = rc
+		fingerprints[h.rank] = h.fingerprint
+		admitted++
+	}
+	for rank, fp := range fingerprints {
+		if fp != fingerprints[0] {
+			return c.abort(conns, fmt.Errorf("dist: job mismatch: rank 0 is running %q, rank %d is running %q",
+				fingerprints[0], rank, fp))
+		}
+	}
+	return nil
+}
+
+// reduceRound decodes every rank's gradient frame, performs the
+// slot-ordered reduction, and fans the identical reduced frame out.
+func (c *Coordinator) reduceRound(conns []*rankConn, msgs [][]byte) error {
+	frames := make([]*gradsFrame, c.world)
+	for rank, p := range msgs {
+		f, err := decodeGrads(p[1:])
+		if err != nil {
+			return fmt.Errorf("dist: rank %d gradient frame: %w", rank, err)
+		}
+		frames[rank] = f
+	}
+	red, err := reduceFrames(frames)
+	if err != nil {
+		return err
+	}
+	return c.fanOut(conns, encodeReduced(red))
+}
+
+// relayBroadcast forwards rank 0's payload to every rank.
+func (c *Coordinator) relayBroadcast(conns []*rankConn, msgs [][]byte) error {
+	payload, err := decodePayload(msgs[0][1:])
+	if err != nil {
+		return fmt.Errorf("dist: rank 0 broadcast frame: %w", err)
+	}
+	return c.fanOut(conns, encodePayload(msgBcastOut, payload))
+}
+
+// fanOut sends one identical message to every rank.
+func (c *Coordinator) fanOut(conns []*rankConn, payload []byte) error {
+	for rank, rc := range conns {
+		if err := sendTo(rc, payload); err != nil {
+			return fmt.Errorf("dist: send to rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// abort tells every surviving rank why the fleet is going down (best
+// effort) and returns err for Run.
+func (c *Coordinator) abort(conns []*rankConn, err error) error {
+	frame := encodePayload(msgError, []byte(err.Error()))
+	for _, rc := range conns {
+		if rc != nil {
+			_ = sendTo(rc, frame)
+		}
+	}
+	return err
+}
+
+func sendTo(rc *rankConn, payload []byte) error {
+	if err := writeMsg(rc.w, payload); err != nil {
+		return err
+	}
+	return rc.w.Flush()
+}

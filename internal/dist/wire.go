@@ -1,0 +1,427 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mtmlf/internal/ckptio"
+)
+
+// Wire protocol. Every message is one ckptio section frame — an 8-byte
+// big-endian length, the payload, and a CRC32C of the payload — so a
+// torn or bit-rotted frame fails with a typed *ckptio.CorruptError
+// exactly like a damaged checkpoint would, instead of being decoded
+// into a garbage gradient. The payload is [1 kind byte][body]; all
+// integers are big-endian, all floats are IEEE-754 bit patterns
+// (math.Float64bits), so a gradient survives the round trip bitwise.
+
+const (
+	// protoMagic opens every handshake.
+	protoMagic = "MTMLF-DIST"
+	// protoVersion is the exchange protocol version.
+	protoVersion = 1
+)
+
+// Message kinds. Workers send hello/grads/bcast/barrier/done; the
+// coordinator answers helloAck/reduced/bcastOut/barrierAck and may
+// send errMsg to abort the fleet with a reason.
+const (
+	msgHello byte = iota + 1
+	msgHelloAck
+	msgGrads
+	msgReduced
+	msgBcast
+	msgBcastOut
+	msgBarrier
+	msgBarrierAck
+	msgDone
+	msgError
+)
+
+// kindName names a message kind for error text.
+func kindName(k byte) string {
+	switch k {
+	case msgHello:
+		return "hello"
+	case msgHelloAck:
+		return "hello-ack"
+	case msgGrads:
+		return "grads"
+	case msgReduced:
+		return "reduced"
+	case msgBcast:
+		return "bcast"
+	case msgBcastOut:
+		return "bcast-out"
+	case msgBarrier:
+		return "barrier"
+	case msgBarrierAck:
+		return "barrier-ack"
+	case msgDone:
+		return "done"
+	case msgError:
+		return "error"
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// writeMsg frames and sends one message payload.
+func writeMsg(w io.Writer, payload []byte) error {
+	return ckptio.WriteSection(w, payload)
+}
+
+// readMsg receives one framed message and returns its payload
+// (kind byte included).
+func readMsg(r io.Reader) ([]byte, error) {
+	p, err := ckptio.ReadSection(r, "dist")
+	if err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, ckptio.Corruptf("dist", "empty message frame")
+	}
+	if p[0] == msgError {
+		c := cursor{b: p[1:]}
+		reason := string(c.bytes(int(c.u32()))) // best effort; may be truncated
+		return nil, fmt.Errorf("dist: coordinator aborted the fleet: %s", reason)
+	}
+	return p, nil
+}
+
+// expectMsg reads one message and verifies its kind.
+func expectMsg(r io.Reader, kind byte) ([]byte, error) {
+	p, err := readMsg(r)
+	if err != nil {
+		return nil, err
+	}
+	if p[0] != kind {
+		return nil, fmt.Errorf("dist: expected %s message, got %s", kindName(kind), kindName(p[0]))
+	}
+	return p[1:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// cursor is a bounds-checked big-endian decoder. Reads past the end
+// set err and return zero values; callers check err once at the end,
+// so a truncated body is one error path instead of a panic.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.err = fmt.Errorf("dist: truncated message body (want %d bytes at offset %d of %d)", n, c.off, len(c.b))
+		return nil
+	}
+	p := c.b[c.off : c.off+n]
+	c.off += n
+	return p
+}
+
+func (c *cursor) u16() uint16 {
+	p := c.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (c *cursor) u32() uint32 {
+	p := c.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (c *cursor) u64() uint64 {
+	p := c.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) bytes(n int) []byte { return c.take(n) }
+
+func (c *cursor) f64s(n int) []float64 {
+	p := c.take(8 * n)
+	if p == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(p[8*i:]))
+	}
+	return out
+}
+
+// done verifies the whole body was consumed and returns any decode
+// error.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("dist: %d trailing bytes after message body", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+// hello is the handshake a worker opens its connection with.
+type hello struct {
+	rank        int
+	world       int
+	fingerprint string
+}
+
+func encodeHello(h hello) []byte {
+	b := []byte{msgHello}
+	b = append(b, protoMagic...)
+	b = appendU16(b, protoVersion)
+	b = appendU32(b, uint32(h.rank))
+	b = appendU32(b, uint32(h.world))
+	b = appendBytes(b, []byte(h.fingerprint))
+	return b
+}
+
+func decodeHello(body []byte) (hello, error) {
+	c := cursor{b: body}
+	magic := c.bytes(len(protoMagic))
+	version := c.u16()
+	h := hello{rank: int(c.u32()), world: int(c.u32())}
+	h.fingerprint = string(c.bytes(int(c.u32())))
+	if err := c.done(); err != nil {
+		return h, err
+	}
+	if string(magic) != protoMagic {
+		return h, fmt.Errorf("dist: handshake magic %q, want %q (not an mtmlf dist worker?)", magic, protoMagic)
+	}
+	if version != protoVersion {
+		return h, fmt.Errorf("dist: protocol version %d, coordinator speaks %d", version, protoVersion)
+	}
+	return h, nil
+}
+
+// gradEntry is one parameter's gradient: the parameter's index in the
+// canonical params slice and its flat data. Parameters a slot never
+// touched are simply absent, preserving ag.ReduceGrads's nil-Grad
+// semantics across the wire.
+type gradEntry struct {
+	param uint32
+	data  []float64
+}
+
+// slotGrads is one owned slot's contribution: its global slot index
+// within the minibatch, its loss, and its per-parameter gradients.
+type slotGrads struct {
+	slot    uint32
+	loss    float64
+	entries []gradEntry
+}
+
+// gradsFrame is one rank's half of an AllReduce round.
+type gradsFrame struct {
+	step  uint64
+	n     uint32
+	scale float64
+	slots []slotGrads
+}
+
+func encodeGrads(f *gradsFrame) []byte {
+	b := []byte{msgGrads}
+	b = appendU64(b, f.step)
+	b = appendU32(b, f.n)
+	b = appendF64(b, f.scale)
+	b = appendU32(b, uint32(len(f.slots)))
+	for _, s := range f.slots {
+		b = appendU32(b, s.slot)
+		b = appendF64(b, s.loss)
+		b = appendU32(b, uint32(len(s.entries)))
+		for _, e := range s.entries {
+			b = appendU32(b, e.param)
+			b = appendU32(b, uint32(len(e.data)))
+			for _, v := range e.data {
+				b = appendF64(b, v)
+			}
+		}
+	}
+	return b
+}
+
+func decodeGrads(body []byte) (*gradsFrame, error) {
+	c := cursor{b: body}
+	f := &gradsFrame{step: c.u64(), n: c.u32(), scale: c.f64()}
+	nSlots := int(c.u32())
+	for i := 0; i < nSlots && c.err == nil; i++ {
+		s := slotGrads{slot: c.u32(), loss: c.f64()}
+		nEntries := int(c.u32())
+		for j := 0; j < nEntries && c.err == nil; j++ {
+			e := gradEntry{param: c.u32()}
+			e.data = c.f64s(int(c.u32()))
+			s.entries = append(s.entries, e)
+		}
+		f.slots = append(f.slots, s)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// reducedFrame is the coordinator's answer: the slot-ordered reduced
+// gradient (ascending parameter index) and every slot's loss.
+type reducedFrame struct {
+	step    uint64
+	losses  []float64
+	entries []gradEntry
+}
+
+func encodeReduced(f *reducedFrame) []byte {
+	b := []byte{msgReduced}
+	b = appendU64(b, f.step)
+	b = appendU32(b, uint32(len(f.losses)))
+	for _, v := range f.losses {
+		b = appendF64(b, v)
+	}
+	b = appendU32(b, uint32(len(f.entries)))
+	for _, e := range f.entries {
+		b = appendU32(b, e.param)
+		b = appendU32(b, uint32(len(e.data)))
+		for _, v := range e.data {
+			b = appendF64(b, v)
+		}
+	}
+	return b
+}
+
+func decodeReduced(body []byte) (*reducedFrame, error) {
+	c := cursor{b: body}
+	f := &reducedFrame{step: c.u64()}
+	f.losses = c.f64s(int(c.u32()))
+	nEntries := int(c.u32())
+	for j := 0; j < nEntries && c.err == nil; j++ {
+		e := gradEntry{param: c.u32()}
+		e.data = c.f64s(int(c.u32()))
+		f.entries = append(f.entries, e)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// encodePayload wraps an opaque payload under kind (bcast/bcast-out/
+// error frames all carry one length-prefixed byte string).
+func encodePayload(kind byte, payload []byte) []byte {
+	b := []byte{kind}
+	return appendBytes(b, payload)
+}
+
+func decodePayload(body []byte) ([]byte, error) {
+	c := cursor{b: body}
+	p := c.bytes(int(c.u32()))
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// reduceFrames performs the example-ordered reduction over one round's
+// frames from every rank: per parameter, slot contributions are summed
+// in ascending slot order and scaled once — float-op-for-float-op what
+// ag.ReduceGrads does with the full slot set in one process. It
+// verifies the round is coherent (same step, same batch shape, same
+// scale on every rank; each slot owned exactly once; consistent
+// parameter sizes) and returns the frame every rank receives.
+func reduceFrames(frames []*gradsFrame) (*reducedFrame, error) {
+	f0 := frames[0]
+	n := int(f0.n)
+	for r, f := range frames {
+		if f.step != f0.step || f.n != f0.n || math.Float64bits(f.scale) != math.Float64bits(f0.scale) {
+			return nil, fmt.Errorf("dist: rank drift: rank %d is at step %d (n=%d scale=%v), rank 0 at step %d (n=%d scale=%v) — fleet aborted, restart every rank with -resume",
+				r, f.step, f.n, f.scale, f0.step, f0.n, f0.scale)
+		}
+	}
+	bySlot := make([]*slotGrads, n)
+	for r := range frames {
+		for i := range frames[r].slots {
+			s := &frames[r].slots[i]
+			if int(s.slot) >= n {
+				return nil, fmt.Errorf("dist: rank %d sent slot %d of an n=%d minibatch", r, s.slot, n)
+			}
+			if bySlot[s.slot] != nil {
+				return nil, fmt.Errorf("dist: slot %d of step %d owned by two ranks (overlapping shards?)", s.slot, f0.step)
+			}
+			bySlot[s.slot] = s
+		}
+	}
+	losses := make([]float64, n)
+	var acc [][]float64
+	for i := 0; i < n; i++ {
+		s := bySlot[i]
+		if s == nil {
+			return nil, fmt.Errorf("dist: no rank owns slot %d of step %d (missing rank?)", i, f0.step)
+		}
+		losses[i] = s.loss
+		for _, e := range s.entries {
+			if int(e.param) >= len(acc) {
+				grown := make([][]float64, e.param+1)
+				copy(grown, acc)
+				acc = grown
+			}
+			a := acc[e.param]
+			if a == nil {
+				a = make([]float64, len(e.data))
+				acc[e.param] = a
+			}
+			if len(a) != len(e.data) {
+				return nil, fmt.Errorf("dist: parameter %d gradient size %d from slot %d, %d from an earlier slot",
+					e.param, len(e.data), i, len(a))
+			}
+			for j, v := range e.data {
+				a[j] += v
+			}
+		}
+	}
+	out := &reducedFrame{step: f0.step, losses: losses}
+	for p, a := range acc {
+		if a == nil {
+			continue
+		}
+		if f0.scale != 1 {
+			for j := range a {
+				a[j] *= f0.scale
+			}
+		}
+		out.entries = append(out.entries, gradEntry{param: uint32(p), data: a})
+	}
+	return out, nil
+}

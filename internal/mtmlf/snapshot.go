@@ -11,6 +11,7 @@ import (
 
 	"mtmlf/internal/ag"
 	"mtmlf/internal/ckptio"
+	"mtmlf/internal/dist"
 	"mtmlf/internal/nn"
 )
 
@@ -250,12 +251,22 @@ func (c *epochCtl) stopRequested(batches int) bool {
 // resuming, it restores params, opt, and *st from the snapshot at
 // snap.Path and positions the controller mid-run; a missing file is a
 // fresh start. Returns nil when the options are disabled.
-func prepareSnapshots(snap SnapshotOptions, meta snapshotMeta, opt *nn.Adam, params []*ag.Value, st *TrainStats) (*epochCtl, error) {
+//
+// Snapshots are topology-aware but topology-free: in a distributed
+// run only rank 0 persists (one snapshot file per job, not one per
+// rank), and on resume rank 0 reads the file and broadcasts the full
+// training state — meta, optimizer moments, parameters — so every
+// rank re-enters the run at the same minibatch boundary with bitwise
+// identical state. The file itself never records a world size: a run
+// snapshotted at one fleet size resumes at any other, exactly as a
+// snapshot taken at one worker count resumes at another.
+func prepareSnapshots(ex dist.Exchanger, snap SnapshotOptions, meta snapshotMeta, opt *nn.Adam, params []*ag.Value, st *TrainStats) (*epochCtl, error) {
 	if !snap.enabled() {
 		return nil, nil
 	}
+	world, rank := ex.World()
 	ctl := &epochCtl{every: snap.Every, interrupt: snap.Interrupt, interruptAfter: snap.InterruptAfter}
-	if snap.Path != "" {
+	if snap.Path != "" && rank == 0 {
 		ctl.snap = func(epoch, offset int) error {
 			m := meta
 			m.Epoch, m.Offset = epoch, offset
@@ -263,7 +274,10 @@ func prepareSnapshots(snap SnapshotOptions, meta snapshotMeta, opt *nn.Adam, par
 			return writeSnapshot(snap.Path, m, opt, params)
 		}
 	}
-	if snap.Resume && snap.Path != "" {
+	if !snap.Resume || snap.Path == "" {
+		return ctl, nil
+	}
+	if world <= 1 {
 		file, err := readSnapshotFile(snap.Path)
 		if errors.Is(err, os.ErrNotExist) {
 			return ctl, nil
@@ -279,6 +293,96 @@ func prepareSnapshots(snap SnapshotOptions, meta snapshotMeta, opt *nn.Adam, par
 		}
 		*st = file.Meta.Stats
 		ctl.startEpoch, ctl.startOffset = file.Meta.Epoch, file.Meta.Offset
+		return ctl, nil
 	}
+	// Distributed resume: rank 0 owns the snapshot file; everyone else
+	// receives its contents over the exchange plane. A missing file is
+	// a fleet-wide fresh start — the decision must be broadcast too, or
+	// half the fleet could resume while the other half starts over.
+	var blob []byte
+	if rank == 0 {
+		file, err := readSnapshotFile(snap.Path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			blob = encodeResumeState(nil)
+		case err != nil:
+			return nil, err
+		default:
+			blob = encodeResumeState(file)
+		}
+	}
+	blob, err := ex.BroadcastBytes(blob)
+	if err != nil {
+		return nil, fmt.Errorf("mtmlf: broadcast resume state: %w", err)
+	}
+	file, err := decodeResumeState(blob)
+	if err != nil {
+		return nil, err
+	}
+	if file == nil {
+		return ctl, nil
+	}
+	if err := matchMeta(meta, file.Meta); err != nil {
+		return nil, err
+	}
+	if err := file.restore(opt, params); err != nil {
+		return nil, err
+	}
+	*st = file.Meta.Stats
+	ctl.startEpoch, ctl.startOffset = file.Meta.Epoch, file.Meta.Offset
 	return ctl, nil
+}
+
+// encodeResumeState packs a parsed snapshot (or nil for "fresh start")
+// into one broadcast payload: a marker byte, then the snapshot's three
+// sections re-framed with the same CRC32C section format the file
+// uses. No new gob types are introduced, so the process-global type-ID
+// order gobtypes.go pins is untouched.
+func encodeResumeState(file *snapshotFile) []byte {
+	if file == nil {
+		return []byte{0}
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	var mb bytes.Buffer
+	// Encoding snapshotMeta cannot fail: it is a fixed struct of
+	// gob-encodable fields, and the writer is in-memory.
+	if err := gob.NewEncoder(&mb).Encode(file.Meta); err != nil {
+		panic(err)
+	}
+	for _, section := range [][]byte{mb.Bytes(), file.adamPayload, file.paramsPayload} {
+		if err := ckptio.WriteSection(&buf, section); err != nil {
+			panic(err) // bytes.Buffer writes cannot fail
+		}
+	}
+	return buf.Bytes()
+}
+
+// decodeResumeState is the inverse of encodeResumeState. nil means the
+// fleet starts fresh.
+func decodeResumeState(blob []byte) (*snapshotFile, error) {
+	if len(blob) == 0 {
+		return nil, ckptio.Corruptf("resume broadcast", "empty payload")
+	}
+	if blob[0] == 0 {
+		return nil, nil
+	}
+	r := bytes.NewReader(blob[1:])
+	metaPayload, err := ckptio.ReadSection(r, "resume broadcast")
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := gob.NewDecoder(bytes.NewReader(metaPayload)).Decode(&meta); err != nil {
+		return nil, ckptio.Corruptf("resume broadcast", "decode meta: %v", err)
+	}
+	adamPayload, err := ckptio.ReadSection(r, "resume broadcast")
+	if err != nil {
+		return nil, err
+	}
+	paramsPayload, err := ckptio.ReadSection(r, "resume broadcast")
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotFile{Meta: meta, adamPayload: adamPayload, paramsPayload: paramsPayload}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"mtmlf/internal/ag"
 	"mtmlf/internal/catalog"
+	"mtmlf/internal/dist"
 	"mtmlf/internal/featurize"
 	"mtmlf/internal/nn"
 	"mtmlf/internal/parallel"
@@ -23,16 +24,18 @@ import (
 // minibatches. For each minibatch it first calls prefetch (which may
 // pull the examples from any workload.Source — in-memory slice or
 // on-disk corpus — worker-parallel), then computes the minibatch
-// data-parallel and applies one Adam step. Only minibatch-sized state
-// is ever live, so the example universe can exceed RAM; and because
-// the shuffle depends only on seed and the per-example math only on
-// the example bits, the trajectory is bitwise identical for every
-// worker count and every source backend.
-func runEpochs(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
+// data-parallel and applies one Adam step through the gradient-exchange
+// plane ex. Only minibatch-sized state is ever live, so the example
+// universe can exceed RAM; and because the shuffle depends only on
+// seed, the per-example math only on the example bits, and the
+// reduction on slot order (never on worker count, process count, or
+// goroutine scheduling), the trajectory is bitwise identical for every
+// worker count, every fleet size, and every source backend.
+func runEpochs(ex dist.Exchanger, opt *nn.Adam, params []*ag.Value, n, epochs, bs, nWorkers int, seed int64,
 	prefetch func(batch []int) error,
 	build func(slot, example int) *ag.Value,
 	after func(loss float64)) error {
-	return runEpochsCtl(opt, n, epochs, bs, nWorkers, seed, prefetch, build, after, nil)
+	return runEpochsCtl(ex, opt, params, n, epochs, bs, nWorkers, seed, prefetch, build, after, nil)
 }
 
 // runEpochsCtl is runEpochs with a durability controller: ctl (may be
@@ -48,7 +51,15 @@ func runEpochs(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
 // restored parameters and optimizer state, the remainder of the run —
 // and therefore the final model — is bitwise identical to never having
 // stopped, at any worker count.
-func runEpochsCtl(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
+//
+// In a distributed run every rank executes this same loop over the
+// same (seed, n, epochs, bs) shape: the shuffle, the minibatch cuts,
+// and the batch counter advance in lockstep on every rank, each rank
+// computes only its owned slots, and AllReduce hands everyone the
+// identical reduced gradient and loss vector — so ctl's snapshot
+// cadence and interrupt decisions land on the same minibatch boundary
+// fleet-wide.
+func runEpochsCtl(ex dist.Exchanger, opt *nn.Adam, params []*ag.Value, n, epochs, bs, nWorkers int, seed int64,
 	prefetch func(batch []int) error,
 	build func(slot, example int) *ag.Value,
 	after func(loss float64),
@@ -79,9 +90,11 @@ func runEpochsCtl(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
 					return err
 				}
 			}
-			runMinibatch(opt, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
+			if err := runMinibatch(ex, opt, params, len(batch), nWorkers, slots, losses, func(i int) *ag.Value {
 				return build(i, batch[i])
-			})
+			}); err != nil {
+				return err
+			}
 			if after != nil {
 				for i := range batch {
 					after(losses[i])
@@ -114,15 +127,26 @@ func runEpochsCtl(opt *nn.Adam, n, epochs, bs, nWorkers int, seed int64,
 
 // fetchInto pulls one minibatch's examples into dst, worker-parallel
 // for storage-backed sources (decode is real work there); the
-// in-memory slice source is just indexed.
-func fetchInto(src workload.Source, batch []int, dst []*workload.LabeledQuery) error {
+// in-memory slice source is just indexed. A distributed rank fetches
+// only the slots it owns — for a corpus-backed source that means each
+// rank reads and decodes only its slice of the stream, which is what
+// makes fleet pretraining scale I/O as well as compute.
+func fetchInto(src workload.Source, batch []int, dst []*workload.LabeledQuery, world, rank int) error {
 	if ss, ok := src.(workload.SliceSource); ok {
 		for j, gi := range batch {
+			if !dist.Owns(world, rank, j) {
+				dst[j] = nil
+				continue
+			}
 			dst[j] = ss[gi]
 		}
 		return nil
 	}
 	return parallel.ForErr(len(batch), 1, func(j int) error {
+		if !dist.Owns(world, rank, j) {
+			dst[j] = nil
+			return nil
+		}
 		var err error
 		dst[j], err = src.Example(batch[j])
 		return err
@@ -159,6 +183,19 @@ type TrainOptions struct {
 	// Snapshot makes the run durable: periodic crash-safe
 	// training-state snapshots, cooperative interruption, and resume.
 	Snapshot SnapshotOptions
+	// Exchanger is the gradient-exchange plane. nil trains
+	// single-process (dist.Local()); a dist.TCP exchanger makes this
+	// process one rank of a data-parallel fleet whose trajectory is
+	// bitwise identical to the single-process run at the same
+	// (seed, batch size, example set).
+	Exchanger dist.Exchanger
+}
+
+func (o TrainOptions) exchanger() dist.Exchanger {
+	if o.Exchanger == nil {
+		return dist.Local()
+	}
+	return o.Exchanger
 }
 
 func (o TrainOptions) batchSize() int {
@@ -244,23 +281,82 @@ func batchBackward(n, nWorkers int, slots []ag.Grads, losses []float64, build fu
 	parallel.Do(fs...)
 }
 
+// ownedBackward is batchBackward for one rank of a distributed fleet:
+// it computes only the slots this rank owns (slot i belongs to rank
+// i mod world — examples stride across ranks exactly like they stride
+// across in-process workers), leaving every other slot nil for
+// AllReduce to fill in from the other ranks. Owned slots still fan out
+// over nWorkers in-process workers, so a rank parallelizes its share
+// of the minibatch the same way a single-process run parallelizes the
+// whole one.
+func ownedBackward(world, rank, n, nWorkers int, slots []ag.Grads, losses []float64, build func(i int) *ag.Value) {
+	owned := make([]int, 0, n/world+1)
+	for i := 0; i < n; i++ {
+		slots[i] = nil
+		if dist.Owns(world, rank, i) {
+			owned = append(owned, i)
+		}
+	}
+	run := func(i int) {
+		sink := ag.Grads{}
+		loss := build(i)
+		loss.BackwardInto(sink)
+		slots[i] = sink
+		losses[i] = loss.Item()
+	}
+	if nWorkers > len(owned) {
+		nWorkers = len(owned)
+	}
+	if nWorkers <= 1 {
+		for _, i := range owned {
+			run(i)
+		}
+		return
+	}
+	fs := make([]func(), nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		w := w
+		fs[w] = func() {
+			for j := w; j < len(owned); j += nWorkers {
+				run(owned[j])
+			}
+		}
+	}
+	parallel.Do(fs...)
+}
+
 // runMinibatch computes gradients for one minibatch and applies one
-// Adam step. The single-example case bypasses the sink machinery and
-// accumulates directly into the parameters' Grad fields — the same
-// trajectory bitwise (identical accumulation order), without the
-// per-example buffer and reduction traffic on the per-example-SGD
-// hot path every default-configured training run takes.
-func runMinibatch(opt *nn.Adam, n, nWorkers int, slots []ag.Grads, losses []float64, build func(i int) *ag.Value) {
-	if n == 1 {
+// Adam step through the gradient-exchange plane. The single-process
+// single-example case bypasses the sink machinery and accumulates
+// directly into the parameters' Grad fields — the same trajectory
+// bitwise (identical accumulation order), without the per-example
+// buffer and reduction traffic on the per-example-SGD hot path every
+// default-configured training run takes. Every other case backwards
+// the rank's owned slots into private buffers and exchanges them:
+// ZeroGrad + AllReduce + Step, which with the Local backend is
+// float-op-for-float-op Adam.StepAveraged, and with the TCP backend
+// the same arithmetic performed once at the coordinator.
+func runMinibatch(ex dist.Exchanger, opt *nn.Adam, params []*ag.Value, n, nWorkers int, slots []ag.Grads, losses []float64, build func(i int) *ag.Value) error {
+	world, rank := ex.World()
+	if world <= 1 && n == 1 {
 		opt.ZeroGrad()
 		loss := build(0)
 		loss.Backward()
 		opt.Step()
 		losses[0] = loss.Item()
-		return
+		return nil
 	}
-	batchBackward(n, nWorkers, slots, losses, build)
-	opt.StepAveraged(slots[:n], 1/float64(n))
+	if world <= 1 {
+		batchBackward(n, nWorkers, slots, losses, build)
+	} else {
+		ownedBackward(world, rank, n, nWorkers, slots, losses, build)
+	}
+	opt.ZeroGrad()
+	if err := ex.AllReduce(params, slots[:n], losses[:n], 1/float64(n)); err != nil {
+		return err
+	}
+	opt.Step()
+	return nil
 }
 
 // jointLoss builds the Equation 1 loss graph for one labeled query.
@@ -322,9 +418,11 @@ func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainS
 	bs := opts.batchSize()
 	params := m.Shared.Params()
 	opt := nn.NewAdam(params, lr)
+	ex := opts.exchanger()
+	world, rank := ex.World()
 	var st TrainStats
 	after := recordInto(&st, opts.RecordTrajectory)
-	ctl, err := prepareSnapshots(opts.Snapshot, snapshotMeta{
+	ctl, err := prepareSnapshots(ex, opts.Snapshot, snapshotMeta{
 		Kind:   "joint",
 		Config: fmt.Sprintf("seqlevel=%v lr=%v trajectory=%v", opts.SeqLevelLoss, lr, opts.RecordTrajectory),
 		N:      src.Len(), Epochs: opts.Epochs, BatchSize: bs, Seed: opts.Seed,
@@ -333,8 +431,8 @@ func (m *Model) TrainJointStream(src workload.Source, opts TrainOptions) (TrainS
 		return st, err
 	}
 	cur := make([]*workload.LabeledQuery, bs)
-	err = runEpochsCtl(opt, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
-		func(batch []int) error { return fetchInto(src, batch, cur) },
+	err = runEpochsCtl(ex, opt, params, src.Len(), opts.Epochs, bs, opts.workers(), opts.Seed,
+		func(batch []int) error { return fetchInto(src, batch, cur, world, rank) },
 		func(slot, _ int) *ag.Value { return m.jointLoss(cur[slot], opts.SeqLevelLoss) },
 		after, ctl)
 	return st, err
@@ -386,6 +484,18 @@ type MLAOptions struct {
 	// preparation (encoder pre-training) is deterministic from the
 	// seeds and re-runs on resume.
 	Snapshot SnapshotOptions
+	// Exchanger is the gradient-exchange plane for the joint loop,
+	// with the same semantics as TrainOptions.Exchanger. Per-DB
+	// preparation is deterministic from the seeds and runs identically
+	// on every rank, so only the joint loop exchanges gradients.
+	Exchanger dist.Exchanger
+}
+
+func (o MLAOptions) exchanger() dist.Exchanger {
+	if o.Exchanger == nil {
+		return dist.Local()
+	}
+	return o.Exchanger
 }
 
 // taskSeed derives database i's task seed from the MLA master seed —
@@ -533,9 +643,11 @@ func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts
 		lq   *workload.LabeledQuery
 	}
 	cur := make([]sample, bs)
+	ex := opts.exchanger()
+	world, rank := ex.World()
 	var st TrainStats
 	after := recordInto(&st, opts.RecordTrajectory)
-	ctl, err := prepareSnapshots(opts.Snapshot, snapshotMeta{
+	ctl, err := prepareSnapshots(ex, opts.Snapshot, snapshotMeta{
 		Kind:   "mla",
 		Config: fmt.Sprintf("lr=%v trajectory=%v", shared.Cfg.LR, opts.RecordTrajectory),
 		N:      pool.Len(), Epochs: opts.JointEpochs, BatchSize: bs, Seed: opts.Seed,
@@ -543,9 +655,13 @@ func trainMLAJoint(shared *Shared, tasks []*DBTask, srcs []workload.Source, opts
 	if err != nil {
 		return st, err
 	}
-	err = runEpochsCtl(opt, pool.Len(), opts.JointEpochs, bs, topts.workers(), opts.Seed,
+	err = runEpochsCtl(ex, opt, params, pool.Len(), opts.JointEpochs, bs, topts.workers(), opts.Seed,
 		func(batch []int) error {
 			return parallel.ForErr(len(batch), 1, func(j int) error {
+				if !dist.Owns(world, rank, j) {
+					cur[j] = sample{}
+					return nil
+				}
 				d, local, err := pool.Locate(batch[j])
 				if err != nil {
 					return err

@@ -65,3 +65,43 @@ func GenerateSharded(cat catalog.Catalog, seed int64, n, shardSize int, cfg Conf
 	})
 	return out
 }
+
+// RankShard is one rank's slice of a sharded workload: the shard's
+// index in the unsharded stream and its examples.
+type RankShard struct {
+	// Shard is the shard index; the examples cover stream positions
+	// [Shard*shardSize, Shard*shardSize+len(Examples)).
+	Shard    int
+	Examples []*LabeledQuery
+}
+
+// GenerateShardedRank produces the shards of GenerateSharded(cat,
+// seed, n, shardSize, cfg) that rank owns in a world-rank fleet
+// (shard s belongs to rank s mod world — the same stride the
+// gradient-exchange plane uses for minibatch slots). Because each
+// shard's seed depends only on (seed, shard), the union of every
+// rank's output is exactly the unsharded stream, bit for bit, no
+// matter how many machines produce it or in what order.
+func GenerateShardedRank(cat catalog.Catalog, seed int64, n, shardSize int, cfg Config, world, rank int) []RankShard {
+	if n <= 0 {
+		return nil
+	}
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	if world < 1 {
+		world = 1
+	}
+	base := NewGeneratorFrom(cat, seed)
+	nShards := (n + shardSize - 1) / shardSize
+	var out []RankShard
+	for s := rank % world; s < nShards; s += world {
+		g := base.Shard(ShardSeed(seed, s))
+		count := shardSize
+		if s*shardSize+count > n {
+			count = n - s*shardSize
+		}
+		out = append(out, RankShard{Shard: s, Examples: g.Generate(count, cfg)})
+	}
+	return out
+}

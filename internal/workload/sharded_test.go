@@ -128,3 +128,46 @@ func TestSubSourceAndMaterialize(t *testing.T) {
 		t.Fatal("expected invalid-range error")
 	}
 }
+
+// TestGenerateShardedRankAlignment is the cross-rank half of the
+// sharding contract the distributed trainer leans on: for 2- and
+// 3-rank fleets, the union of every rank's shards — reassembled by
+// shard index — must be the unsharded stream in stream order, bit for
+// bit, and no shard may be produced by two ranks.
+func TestGenerateShardedRankAlignment(t *testing.T) {
+	cat := shardedSetup()
+	cfg := DefaultConfig()
+	cfg.MaxTables = 3
+	const n, shardSize = 22, 4 // short final shard included
+	ref := GenerateSharded(cat, 31, n, shardSize, cfg)
+	for _, world := range []int{2, 3} {
+		union := make([]*LabeledQuery, 0, n)
+		seen := map[int]int{}
+		for rank := 0; rank < world; rank++ {
+			for _, s := range GenerateShardedRank(cat, 31, n, shardSize, cfg, world, rank) {
+				if s.Shard%world != rank {
+					t.Fatalf("world %d: rank %d produced shard %d, owned by rank %d",
+						world, rank, s.Shard, s.Shard%world)
+				}
+				seen[s.Shard]++
+			}
+		}
+		for shard, c := range seen {
+			if c != 1 {
+				t.Fatalf("world %d: shard %d produced by %d ranks", world, shard, c)
+			}
+		}
+		// Reassemble in shard order and compare to the unsharded stream.
+		byShard := make(map[int][]*LabeledQuery)
+		for rank := 0; rank < world; rank++ {
+			for _, s := range GenerateShardedRank(cat, 31, n, shardSize, cfg, world, rank) {
+				byShard[s.Shard] = s.Examples
+			}
+		}
+		nShards := (n + shardSize - 1) / shardSize
+		for s := 0; s < nShards; s++ {
+			union = append(union, byShard[s]...)
+		}
+		equalWorkloads(t, ref, union)
+	}
+}
